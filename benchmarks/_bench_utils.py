@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite (importable from every bench module)."""
+
+from __future__ import annotations
+
+from repro.experiments import QUICK
+
+#: The scale used by every benchmark: small synthetic datasets, short training
+#: budgets, capped evaluation users — minutes on a laptop CPU, same shape as
+#: the paper's results.
+BENCH_SCALE = QUICK.with_overrides(
+    embedding_dim=32,
+    fism_epochs=4,
+    sasrec_epochs=3,
+    bprmf_epochs=4,
+    merger_epochs=40,
+    num_neighbors=50,
+    candidate_list_size=100,
+    max_eval_users=150,
+    dimension_grid=(16, 32),
+    neighbor_grid=(25, 50, 100),
+    datasets=("games-small", "ml-1m-small"),
+)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result.
+
+    The interesting output of each bench is the regenerated table plus its
+    end-to-end wall-clock; repeating a multi-minute experiment for latency
+    statistics would add nothing.
+    """
+
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

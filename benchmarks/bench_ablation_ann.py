@@ -1,0 +1,40 @@
+"""Ablation — exact brute-force neighbor search vs the IVF approximate index.
+
+Extension beyond the paper: the deployment relies on Faiss for billion-scale
+neighbor retrieval; this repo ships both an exact index and an IVF index.  The
+bench measures recall@β against exact search and per-query latency as the
+number of probed cells grows — the classic accuracy/latency trade-off curve.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_ann_ablation
+
+from _bench_utils import run_once
+
+
+def test_ablation_ann_recall_latency(benchmark):
+    rows = run_once(
+        benchmark,
+        run_ann_ablation,
+        num_vectors=5000,
+        dim=64,
+        k=100,
+        num_queries=50,
+        num_cells=32,
+        n_probe_values=(1, 2, 4, 8, 16),
+        seed=0,
+    )
+    print("\n=== Ablation: neighbor search recall / latency ===")
+    print(f"{'index':<18}{'recall@100':>12}{'query_ms':>12}")
+    for row in rows:
+        print(f"{row.variant:<18}{row.metrics['recall']:>12.4f}{row.metrics['query_ms']:>12.4f}")
+
+    by_variant = {row.variant: row.metrics for row in rows}
+    assert by_variant["BruteForce"]["recall"] == 1.0
+    # Recall is monotone (within tolerance) in the number of probed cells.
+    recalls = [by_variant[f"IVF(n_probe={p})"]["recall"] for p in (1, 2, 4, 8, 16)]
+    assert recalls[-1] >= recalls[0]
+    assert recalls[-1] > 0.7
+    # Probing few cells is faster than the exact scan.
+    assert by_variant["IVF(n_probe=1)"]["query_ms"] <= by_variant["BruteForce"]["query_ms"] * 1.5

@@ -1,0 +1,30 @@
+"""Table I — dataset statistics of the four synthetic analogs.
+
+Paper reference: Table I reports #users, #items, #actions, average sequence
+length and density for ML-1M, ML-20M, Amazon Games and Amazon Beauty.  This
+bench generates all four scaled-down analogs and prints the same columns.
+"""
+
+from __future__ import annotations
+
+from repro.data import load_preset
+from repro.experiments import DATASET_NAMES, format_table1
+
+from _bench_utils import run_once
+
+
+def _generate_all_statistics():
+    datasets = {name: load_preset(name) for name in DATASET_NAMES}
+    return [dataset.statistics() for dataset in datasets.values()]
+
+
+def test_table1_dataset_statistics(benchmark):
+    statistics = run_once(benchmark, _generate_all_statistics)
+    print("\n=== Table I: dataset statistics (synthetic analogs) ===")
+    print(format_table1(statistics))
+    # Qualitative Table I shape: MovieLens analogs are denser with longer
+    # sequences than the Amazon analogs.
+    by_name = {stats.name: stats for stats in statistics}
+    assert by_name["ml-1m-small"].avg_sequence_length > by_name["games-small"].avg_sequence_length
+    assert by_name["ml-1m-small"].density > by_name["beauty-small"].density
+    assert by_name["ml-20m-small"].num_actions == max(s.num_actions for s in statistics)

@@ -1,0 +1,36 @@
+"""Table IV — NDCG@50 as a function of the neighborhood size β.
+
+Paper reference: Table IV sweeps β ∈ {50, 100, 200} and shows (i) the UI
+column is constant in β, (ii) SCCF improves over UI for every β, and (iii)
+overly large neighborhoods can hurt slightly because they admit noisy users.
+This bench sweeps a scaled grid on the Amazon analog with the FISM base.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_sweep, run_neighbor_sweep
+
+from _bench_utils import BENCH_SCALE, run_once
+
+
+def test_table4_neighborhood_size_sweep(benchmark, bench_datasets):
+    dataset_name = "games-small"
+    points = run_once(
+        benchmark,
+        run_neighbor_sweep,
+        BENCH_SCALE,
+        datasets={dataset_name: bench_datasets[dataset_name]},
+        neighbor_counts=BENCH_SCALE.neighbor_grid,
+        base_models=("FISM",),
+        cutoffs=(50,),
+    )
+    print("\n=== Table IV: NDCG@50 vs neighborhood size β ===")
+    print(format_sweep(points, metric="NDCG@50"))
+
+    ui_values = {p.value: p.metrics["NDCG@50"] for p in points if p.variant == "UI"}
+    sccf_values = {p.value: p.metrics["NDCG@50"] for p in points if p.variant == "SCCF"}
+    # The UI model does not depend on β at all.
+    assert len(set(round(v, 6) for v in ui_values.values())) == 1
+    # SCCF improves over (or matches) the UI base for every β.
+    for beta, value in sccf_values.items():
+        assert value >= ui_values[beta] * 0.95

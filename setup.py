@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in fully
+offline environments where the ``wheel`` package (required by PEP 660
+editable builds) is unavailable: pip falls back to the legacy
+``setup.py develop`` path, which only needs setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Analyses behind the paper's motivating and diagnostic figures (Figures 1 and 4)."""
+
+from .category_drift import CategoryDriftResult, category_drift_distribution
+from .similarity_distribution import (
+    SimilarityDistributions,
+    candidate_similarity_distributions,
+    histogram,
+)
+
+__all__ = [
+    "CategoryDriftResult",
+    "category_drift_distribution",
+    "SimilarityDistributions",
+    "candidate_similarity_distributions",
+    "histogram",
+]

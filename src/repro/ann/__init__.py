@@ -1,0 +1,36 @@
+"""Similarity-search substrate (the role Faiss plays in the paper's deployment)."""
+
+from typing import Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from .brute_force import BruteForceIndex
+from .ivf import IVFIndex, kmeans
+from .metrics import cosine_similarity, inner_product, normalize_rows, pairwise_similarity
+
+__all__ = [
+    "NeighborIndex",
+    "BruteForceIndex",
+    "IVFIndex",
+    "kmeans",
+    "cosine_similarity",
+    "inner_product",
+    "normalize_rows",
+    "pairwise_similarity",
+]
+
+
+@runtime_checkable
+class NeighborIndex(Protocol):
+    """Structural interface both index implementations satisfy."""
+
+    def build(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> "NeighborIndex":
+        ...
+
+    def search(
+        self, query: np.ndarray, k: int, exclude: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        ...
+
+    def update(self, position: int, vector: np.ndarray) -> None:
+        ...

@@ -1,0 +1,153 @@
+"""Approximate nearest-neighbor search with an inverted-file (IVF) index.
+
+Faiss's workhorse index for large catalogs is IVF: k-means partitions the
+vectors into cells, a query probes only the ``n_probe`` closest cells, and an
+exact scan runs inside those cells.  This NumPy implementation provides the
+same accuracy/latency trade-off for the Table III scalability discussion and
+the ANN ablation bench, and exposes the same ``build`` / ``search`` /
+``update`` surface as :class:`repro.ann.brute_force.BruteForceIndex`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .metrics import cosine_similarity, normalize_rows
+
+__all__ = ["IVFIndex", "kmeans"]
+
+
+def kmeans(
+    vectors: np.ndarray,
+    num_clusters: int,
+    num_iterations: int = 20,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Plain Lloyd's k-means; returns ``(centroids, assignments)``.
+
+    Empty clusters are re-seeded with the point farthest from its centroid so
+    the index never ends up with dead cells.
+    """
+
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2:
+        raise ValueError("vectors must be 2-d")
+    num_points = len(vectors)
+    num_clusters = min(num_clusters, num_points)
+    if num_clusters <= 0:
+        raise ValueError("num_clusters must be positive")
+    rng = rng or np.random.default_rng(0)
+
+    centroids = vectors[rng.choice(num_points, size=num_clusters, replace=False)].copy()
+    assignments = np.zeros(num_points, dtype=np.int64)
+    for _ in range(num_iterations):
+        distances = ((vectors[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_assignments = distances.argmin(axis=1)
+        if np.array_equal(new_assignments, assignments):
+            assignments = new_assignments
+            break
+        assignments = new_assignments
+        for cluster in range(num_clusters):
+            members = vectors[assignments == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+            else:
+                farthest = distances.min(axis=1).argmax()
+                centroids[cluster] = vectors[farthest]
+    return centroids, assignments
+
+
+class IVFIndex:
+    """Inverted-file approximate index with cosine re-ranking inside probed cells."""
+
+    def __init__(self, num_cells: int = 16, n_probe: int = 3, rng: Optional[np.random.Generator] = None) -> None:
+        if num_cells <= 0 or n_probe <= 0:
+            raise ValueError("num_cells and n_probe must be positive")
+        self.num_cells = num_cells
+        self.n_probe = n_probe
+        self._rng = rng or np.random.default_rng(0)
+        self._vectors: Optional[np.ndarray] = None
+        self._ids: Optional[np.ndarray] = None
+        self._centroids: Optional[np.ndarray] = None
+        self._cells: Dict[int, List[int]] = {}
+        self._assignments: Optional[np.ndarray] = None
+
+    @property
+    def size(self) -> int:
+        return 0 if self._vectors is None else len(self._vectors)
+
+    def build(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> "IVFIndex":
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError("vectors must be a 2-d array")
+        self._vectors = vectors.copy()
+        self._ids = (
+            np.arange(len(vectors), dtype=np.int64)
+            if ids is None
+            else np.asarray(ids, dtype=np.int64).copy()
+        )
+        if len(self._ids) != len(vectors):
+            raise ValueError("ids must match the number of vectors")
+        cells = min(self.num_cells, len(vectors))
+        self._centroids, self._assignments = kmeans(vectors, cells, rng=self._rng)
+        self._cells = {}
+        for position, cell in enumerate(self._assignments):
+            self._cells.setdefault(int(cell), []).append(position)
+        return self
+
+    def update(self, position: int, vector: np.ndarray) -> None:
+        """Replace a vector and move it to its (possibly new) nearest cell."""
+
+        if self._vectors is None:
+            raise RuntimeError("index has not been built")
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self._vectors.shape[1],):
+            raise ValueError("vector dimensionality mismatch")
+        self._vectors[position] = vector
+        old_cell = int(self._assignments[position])
+        distances = ((self._centroids - vector[None, :]) ** 2).sum(axis=1)
+        new_cell = int(distances.argmin())
+        if new_cell != old_cell:
+            self._cells[old_cell].remove(position)
+            self._cells.setdefault(new_cell, []).append(position)
+            self._assignments[position] = new_cell
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        exclude: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Probe the ``n_probe`` nearest cells and return exact top-``k`` within them."""
+
+        if self._vectors is None:
+            raise RuntimeError("index has not been built")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        centroid_distances = ((self._centroids - query[None, :]) ** 2).sum(axis=1)
+        probe = np.argsort(centroid_distances)[: self.n_probe]
+
+        candidate_positions: List[int] = []
+        for cell in probe:
+            candidate_positions.extend(self._cells.get(int(cell), []))
+        if not candidate_positions:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+
+        candidate_positions = np.asarray(candidate_positions, dtype=np.int64)
+        candidate_vectors = self._vectors[candidate_positions]
+        scores = cosine_similarity(query, candidate_vectors)
+        candidate_ids = self._ids[candidate_positions]
+
+        if exclude is not None and len(exclude):
+            mask = np.isin(candidate_ids, np.asarray(exclude, dtype=np.int64))
+            scores = np.where(mask, -np.inf, scores)
+
+        k = min(k, len(scores))
+        top = np.argpartition(-scores, kth=k - 1)[:k]
+        order = top[np.argsort(-scores[top], kind="stable")]
+        result_scores = scores[order]
+        valid = np.isfinite(result_scores)
+        return candidate_ids[order][valid], result_scores[valid]

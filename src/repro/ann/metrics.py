@@ -1,0 +1,58 @@
+"""Vector similarity metrics for neighbor search.
+
+The user-based component of SCCF measures similarity between user
+representations with the cosine (eq. 11); the inner product is also provided
+because UI scoring (eq. 10) uses dot products and some ablations search with
+it directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cosine_similarity", "inner_product", "normalize_rows", "pairwise_similarity"]
+
+_EPS = 1e-12
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """L2-normalize each row; all-zero rows are left as zeros."""
+
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim == 1:
+        norm = np.linalg.norm(matrix)
+        return matrix / norm if norm > _EPS else matrix.copy()
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms = np.where(norms > _EPS, norms, 1.0)
+    return matrix / norms
+
+
+def cosine_similarity(query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Cosine similarity between ``query`` (1-d or 2-d) and every row of ``matrix``."""
+
+    query = np.asarray(query, dtype=np.float64)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    normalized_matrix = normalize_rows(matrix)
+    if query.ndim == 1:
+        return normalize_rows(query) @ normalized_matrix.T
+    return normalize_rows(query) @ normalized_matrix.T
+
+
+def inner_product(query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Raw inner product between ``query`` and every row of ``matrix``."""
+
+    query = np.asarray(query, dtype=np.float64)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return query @ matrix.T
+
+
+def pairwise_similarity(matrix: np.ndarray, metric: str = "cosine") -> np.ndarray:
+    """Full similarity matrix between all rows of ``matrix``."""
+
+    if metric == "cosine":
+        normalized = normalize_rows(matrix)
+        return normalized @ normalized.T
+    if metric == "inner":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        return matrix @ matrix.T
+    raise ValueError(f"unknown metric {metric!r}; use 'cosine' or 'inner'")

@@ -1,0 +1,17 @@
+"""SCCF core: user-based component, integrating MLP, framework, real-time server."""
+
+from .merger import CandidateFeatures, IntegratingMLP, normalize_scores
+from .realtime import LatencyBreakdown, RealTimeServer
+from .sccf import SCCF, SCCFConfig
+from .user_neighborhood import UserNeighborhoodComponent
+
+__all__ = [
+    "UserNeighborhoodComponent",
+    "IntegratingMLP",
+    "CandidateFeatures",
+    "normalize_scores",
+    "SCCF",
+    "SCCFConfig",
+    "RealTimeServer",
+    "LatencyBreakdown",
+]

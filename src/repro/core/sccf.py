@@ -1,0 +1,254 @@
+"""The SCCF framework: Self-Complementary Collaborative Filtering.
+
+This is the paper's primary contribution (Section III, Figure 2).  SCCF wraps
+any *inductive* UI model and complements it with local information from the
+user's neighborhood:
+
+1. **UI component** — the wrapped model produces user/item embeddings and the
+   global candidate list ``C^u_UI`` ranked by ``r̂^UI_{ui} = m_uᵀ q_i``.
+2. **User-based component** — neighbors identified by cosine similarity of the
+   inferred user embeddings vote for their recent items, producing the local
+   candidate list ``C^u_UU`` ranked by ``r̂^UU`` (eqs. 11-12); no extra
+   parameters are introduced.
+3. **Integrating component** — a small MLP fuses ``[m_u ⊕ q_i ⊕ r̃^UI ⊕ r̃^UU]``
+   into the final score over the union of the two candidate lists
+   (eqs. 15-17).
+
+Three scoring modes are exposed because the paper evaluates all three columns
+per base model in Table II: ``"ui"`` (the base model alone), ``"uu"`` (the
+user-based component alone, e.g. FISM_UU), and ``"sccf"`` (the full fused
+framework, e.g. FISM_SCCF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ann import NeighborIndex
+from ..data.datasets import RecDataset
+from ..models.base import InductiveUIModel, Recommender, exclude_seen_items
+from .merger import CandidateFeatures, IntegratingMLP
+from .user_neighborhood import UserNeighborhoodComponent
+
+__all__ = ["SCCFConfig", "SCCF"]
+
+_NEG_INF = -1e12
+
+
+@dataclass(frozen=True)
+class SCCFConfig:
+    """Hyper-parameters of the SCCF framework.
+
+    ``candidate_list_size`` is N, the length of each of the two candidate
+    lists handed to the integrating component; the online deployment uses 500,
+    offline evaluation needs at least the largest k reported (100).
+    """
+
+    num_neighbors: int = 100
+    candidate_list_size: int = 100
+    recency_window: int = 15
+    merger_hidden_dims: Tuple[int, ...] = (64, 32)
+    merger_epochs: int = 80
+    merger_learning_rate: float = 0.003
+    merger_batch_size: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_neighbors <= 0:
+            raise ValueError("num_neighbors must be positive")
+        if self.candidate_list_size <= 0:
+            raise ValueError("candidate_list_size must be positive")
+        if self.recency_window <= 0:
+            raise ValueError("recency_window must be positive")
+
+
+class SCCF(Recommender):
+    """Self-Complementary Collaborative Filtering on top of an inductive UI model."""
+
+    def __init__(
+        self,
+        ui_model: InductiveUIModel,
+        config: Optional[SCCFConfig] = None,
+        neighbor_index: Optional[NeighborIndex] = None,
+    ) -> None:
+        if not isinstance(ui_model, InductiveUIModel):
+            raise TypeError("SCCF requires an inductive UI model (FISM, SASRec, YouTubeDNN, ...)")
+        self.ui_model = ui_model
+        self.config = config or SCCFConfig()
+        self.neighborhood = UserNeighborhoodComponent(
+            num_neighbors=self.config.num_neighbors,
+            recency_window=self.config.recency_window,
+            index=neighbor_index,
+        )
+        self.merger: Optional[IntegratingMLP] = None
+        self.mode: str = "sccf"
+        self._user_histories: Dict[int, List[int]] = {}
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    # fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, dataset: RecDataset, fit_ui_model: bool = True) -> "SCCF":
+        """Fit the whole pipeline.
+
+        ``fit_ui_model=False`` lets callers reuse an already-trained UI model
+        (SCCF is "a post-processing plugin to any inductive UI models"), in
+        which case only the neighborhood index and the integrating MLP are
+        built.
+        """
+
+        if fit_ui_model:
+            self.ui_model.fit(dataset)
+        self.num_users = dataset.num_users
+        self.num_items = dataset.num_items
+        self._user_histories = dataset.train.user_sequences()
+
+        self.neighborhood.fit(self.ui_model, dataset)
+        self.merger = IntegratingMLP(
+            embedding_dim=self.ui_model.embedding_dim,
+            hidden_dims=self.config.merger_hidden_dims,
+            num_epochs=self.config.merger_epochs,
+            learning_rate=self.config.merger_learning_rate,
+            batch_size=self.config.merger_batch_size,
+            seed=self.config.seed,
+        )
+        self._train_merger(dataset)
+        self._fitted = True
+        return self
+
+    def _train_merger(self, dataset: RecDataset) -> None:
+        """Train the integrating MLP with each user's validation item as the label.
+
+        Per Section IV-A4: "To train the integrating model, we utilize each
+        user's item just before the last as the training label" — i.e. the
+        validation item, predicted from the training-only history.
+        """
+
+        examples: List[Tuple[CandidateFeatures, int]] = []
+        item_embeddings = self.ui_model.item_embeddings()
+        for user, target in dataset.validation_items.items():
+            history = self._user_histories.get(user, [])
+            if not history:
+                continue
+            features = self._candidate_features(user, history, item_embeddings)
+            if features is None:
+                continue
+            examples.append((features, target))
+        self.merger.fit(examples)
+
+    # ------------------------------------------------------------------ #
+    # candidate construction shared by training and serving
+    # ------------------------------------------------------------------ #
+    def _candidate_features(
+        self,
+        user_id: int,
+        history: Sequence[int],
+        item_embeddings: Optional[np.ndarray] = None,
+    ) -> Optional[CandidateFeatures]:
+        if item_embeddings is None:
+            item_embeddings = self.ui_model.item_embeddings()
+        user_embedding = self.ui_model.infer_user_embedding(history)
+        ui_scores = self.ui_model.ui_scores(user_embedding)
+        uu_scores = self.neighborhood.score_for_user(user_id, user_embedding, history=history)
+
+        candidates = self._merge_candidates(ui_scores, uu_scores, history)
+        if len(candidates) == 0:
+            return None
+        return self.merger.build_features(
+            user_id=user_id,
+            user_embedding=user_embedding,
+            item_embeddings=item_embeddings,
+            candidate_items=candidates,
+            ui_scores=ui_scores,
+            uu_scores=uu_scores,
+        )
+
+    def _merge_candidates(
+        self,
+        ui_scores: np.ndarray,
+        uu_scores: np.ndarray,
+        history: Sequence[int],
+    ) -> np.ndarray:
+        """C^u_I = C^u_UI ∪ C^u_UU (eq. 14), excluding already-seen items."""
+
+        size = min(self.config.candidate_list_size, self.num_items)
+        ui_masked = exclude_seen_items(ui_scores, history)
+        uu_masked = exclude_seen_items(uu_scores, history)
+        ui_top = self._top_k(ui_masked, size)
+        uu_top = self._top_k(uu_masked, size, positive_only=True)
+        merged = np.union1d(ui_top, uu_top)
+        return merged.astype(np.int64)
+
+    @staticmethod
+    def _top_k(scores: np.ndarray, k: int, positive_only: bool = False) -> np.ndarray:
+        k = min(k, len(scores))
+        if k == 0:
+            return np.empty(0, dtype=np.int64)
+        top = np.argpartition(-scores, kth=k - 1)[:k]
+        top = top[np.isfinite(scores[top])]
+        if positive_only:
+            top = top[scores[top] > 0]
+        return top.astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    # ------------------------------------------------------------------ #
+    def set_mode(self, mode: str) -> "SCCF":
+        """Switch between ``"ui"``, ``"uu"`` and ``"sccf"`` scoring (Table II columns)."""
+
+        if mode not in ("ui", "uu", "sccf"):
+            raise ValueError("mode must be one of 'ui', 'uu', 'sccf'")
+        self.mode = mode
+        return self
+
+    def score_items(self, user_id: int, history: Optional[Sequence[int]] = None) -> np.ndarray:
+        self._require_fitted()
+        if history is None:
+            history = self._user_histories.get(user_id, [])
+        user_embedding = self.ui_model.infer_user_embedding(history)
+
+        if self.mode == "ui":
+            return self.ui_model.ui_scores(user_embedding)
+        if self.mode == "uu":
+            return self.neighborhood.score_for_user(user_id, user_embedding, history=history)
+
+        item_embeddings = self.ui_model.item_embeddings()
+        features = self._candidate_features(user_id, history, item_embeddings)
+        scores = np.full(self.num_items, _NEG_INF, dtype=np.float64)
+        if features is None:
+            return scores
+        fused = self.merger.predict(features)
+        scores[features.candidate_items] = fused
+        return scores
+
+    def candidate_lists(
+        self, user_id: int, history: Optional[Sequence[int]] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The two ranked candidate lists (UI, UU) before fusion — used by Figure 4."""
+
+        self._require_fitted()
+        if history is None:
+            history = self._user_histories.get(user_id, [])
+        user_embedding = self.ui_model.infer_user_embedding(history)
+        ui_scores = exclude_seen_items(self.ui_model.ui_scores(user_embedding), history)
+        uu_scores = exclude_seen_items(
+            self.neighborhood.score_for_user(user_id, user_embedding, history=history), history
+        )
+        size = min(self.config.candidate_list_size, self.num_items)
+        ui_top = self._top_k(ui_scores, size)
+        ui_top = ui_top[np.argsort(-ui_scores[ui_top], kind="stable")]
+        uu_top = self._top_k(uu_scores, size, positive_only=True)
+        uu_top = uu_top[np.argsort(-uu_scores[uu_top], kind="stable")]
+        return ui_top, uu_top
+
+    def _require_fitted(self) -> None:
+        if not self._fitted or self.merger is None:
+            raise RuntimeError("SCCF has not been fitted")
+
+    @property
+    def name(self) -> str:
+        suffix = {"ui": "", "uu": "UU", "sccf": "SCCF"}[self.mode]
+        return f"{self.ui_model.name}{suffix}" if suffix else self.ui_model.name

@@ -1,0 +1,201 @@
+"""The SCCF user-based component (Section III-C of the paper).
+
+Given the user representations produced by an inductive UI model, this
+component:
+
+1. identifies each user's neighborhood ``N_u`` — the β most similar users by
+   cosine similarity of their embeddings (eq. 11), with ``u ∉ N_u``;
+2. scores items by the similarity-weighted votes of those neighbors
+   (eq. 12): ``r̂^UU_{ui} = Σ_{v ∈ N_u} δ_{vi} · sim(u, v)``, where ``δ_{vi}``
+   indicates that neighbor ``v`` recently interacted with item ``i``.
+
+The paper's deployment recommends "each user's latest 15 items to her/his
+similar users", so neighbor votes come from a recency window rather than the
+full profile; the window is configurable.
+
+No parameters are learned here — the component is a pure function of the UI
+model's embeddings, which is what makes it a drop-in, real-time plugin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ann import BruteForceIndex, NeighborIndex
+from ..data.datasets import RecDataset
+from ..data.sequences import recent_window
+from ..models.base import InductiveUIModel
+
+__all__ = ["UserNeighborhoodComponent"]
+
+
+class UserNeighborhoodComponent:
+    """Real-time user-neighborhood scoring on top of an inductive UI model.
+
+    Parameters
+    ----------
+    num_neighbors:
+        Neighborhood size β (the paper sweeps {50, 100, 200}; 100 is the
+        default best value).
+    recency_window:
+        How many of each neighbor's most recent items are eligible to be
+        recommended to similar users (15 in the paper's deployment).
+    index:
+        A neighbor-search index implementing :class:`repro.ann.NeighborIndex`.
+        Defaults to exact cosine search; pass an
+        :class:`~repro.ann.ivf.IVFIndex` for the approximate variant.
+    """
+
+    def __init__(
+        self,
+        num_neighbors: int = 100,
+        recency_window: int = 15,
+        index: Optional[NeighborIndex] = None,
+    ) -> None:
+        if num_neighbors <= 0:
+            raise ValueError("num_neighbors must be positive")
+        if recency_window <= 0:
+            raise ValueError("recency_window must be positive")
+        self.num_neighbors = num_neighbors
+        self.recency_window = recency_window
+        self.index: NeighborIndex = index if index is not None else BruteForceIndex(metric="cosine")
+        self.num_users: int = 0
+        self.num_items: int = 0
+        self._user_embeddings: Optional[np.ndarray] = None
+        self._recent_items: Dict[int, List[int]] = {}
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    # fitting = embedding every user and indexing the embeddings
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        ui_model: InductiveUIModel,
+        dataset: RecDataset,
+        histories: Optional[Dict[int, Sequence[int]]] = None,
+    ) -> "UserNeighborhoodComponent":
+        """Index user embeddings inferred by ``ui_model`` from ``dataset``'s histories.
+
+        ``histories`` optionally overrides the training histories (e.g. with
+        validation items merged back in for final test-time evaluation).
+        """
+
+        self.num_users = dataset.num_users
+        self.num_items = dataset.num_items
+        base_histories = dataset.train.user_sequences()
+        if histories is not None:
+            for user, sequence in histories.items():
+                base_histories[user] = list(sequence)
+
+        embeddings = np.zeros((self.num_users, ui_model.embedding_dim), dtype=np.float64)
+        recent: Dict[int, List[int]] = {}
+        for user in range(self.num_users):
+            sequence = base_histories.get(user, [])
+            if sequence:
+                embeddings[user] = ui_model.infer_user_embedding(sequence)
+                recent[user] = recent_window(sequence, self.recency_window)
+            else:
+                recent[user] = []
+        self._user_embeddings = embeddings
+        self._recent_items = recent
+        self.index.build(embeddings)
+        self._fitted = True
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self._fitted or self._user_embeddings is None:
+            raise RuntimeError("UserNeighborhoodComponent has not been fitted")
+
+    # ------------------------------------------------------------------ #
+    # neighborhood identification (eq. 11)
+    # ------------------------------------------------------------------ #
+    def neighbors(
+        self,
+        user_embedding: np.ndarray,
+        exclude_user: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(neighbor_ids, similarities)`` ordered by descending similarity."""
+
+        self._require_fitted()
+        exclude = np.asarray([exclude_user], dtype=np.int64) if exclude_user is not None else None
+        ids, similarities = self.index.search(
+            np.asarray(user_embedding, dtype=np.float64),
+            k=self.num_neighbors,
+            exclude=exclude,
+        )
+        return ids, similarities
+
+    # ------------------------------------------------------------------ #
+    # local scoring (eq. 12)
+    # ------------------------------------------------------------------ #
+    def uu_scores(
+        self,
+        user_embedding: np.ndarray,
+        exclude_user: Optional[int] = None,
+        exclude_items: Optional[Iterable[int]] = None,
+    ) -> np.ndarray:
+        """Similarity-weighted neighbor votes for every item in the catalog."""
+
+        self._require_fitted()
+        neighbor_ids, similarities = self.neighbors(user_embedding, exclude_user)
+        scores = np.zeros(self.num_items, dtype=np.float64)
+        for neighbor, similarity in zip(neighbor_ids, similarities):
+            if similarity <= 0:
+                continue
+            for item in self._recent_items.get(int(neighbor), []):
+                if 0 <= item < self.num_items:
+                    scores[item] += float(similarity)
+        if exclude_items is not None:
+            exclude_list = [item for item in exclude_items if 0 <= item < self.num_items]
+            if exclude_list:
+                scores[np.asarray(exclude_list, dtype=np.int64)] = 0.0
+        return scores
+
+    def score_for_user(
+        self,
+        user_id: int,
+        user_embedding: np.ndarray,
+        history: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """eq. (12) with the paper's convention of never re-recommending ``R⁺_u``."""
+
+        exclude_items = history if history is not None else self._recent_items.get(user_id, [])
+        return self.uu_scores(user_embedding, exclude_user=user_id, exclude_items=exclude_items)
+
+    # ------------------------------------------------------------------ #
+    # real-time maintenance
+    # ------------------------------------------------------------------ #
+    def update_user(
+        self,
+        user_id: int,
+        ui_model: InductiveUIModel,
+        history: Sequence[int],
+    ) -> np.ndarray:
+        """Re-infer a user's embedding from a fresh history and refresh the index.
+
+        Returns the new embedding.  This is the "infer user representations on
+        the fly" step that distinguishes SCCF from transductive user-based
+        methods: cost is one UI forward pass plus an index row update.
+        """
+
+        self._require_fitted()
+        if not 0 <= user_id < self.num_users:
+            raise ValueError("user_id out of range")
+        embedding = ui_model.infer_user_embedding(history)
+        self._user_embeddings[user_id] = embedding
+        self.index.update(user_id, embedding)
+        self._recent_items[user_id] = recent_window(list(history), self.recency_window)
+        return embedding
+
+    def user_embedding(self, user_id: int) -> np.ndarray:
+        self._require_fitted()
+        if not 0 <= user_id < self.num_users:
+            raise ValueError("user_id out of range")
+        return self._user_embeddings[user_id].copy()
+
+    def recent_items(self, user_id: int) -> List[int]:
+        """Items this user currently contributes to her neighbors' candidates."""
+
+        return list(self._recent_items.get(user_id, []))

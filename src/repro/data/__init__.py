@@ -1,0 +1,68 @@
+"""Data substrate: interaction logs, datasets, loaders, synthetic generators, sampling."""
+
+from .datasets import DatasetStatistics, RecDataset
+from .interactions import Interaction, InteractionLog
+from .loaders import (
+    load_amazon_ratings,
+    load_csv_interactions,
+    load_movielens_genres,
+    load_movielens_ratings,
+)
+from .preprocessing import build_dataset, k_core_filter, leave_one_out_split, reindex_ids
+from .sampling import (
+    NegativeSampler,
+    SequenceBatch,
+    SequenceBatcher,
+    UserGroupedBatch,
+    UserGroupedBatcher,
+)
+from .sequences import (
+    PADDING_ID,
+    batch_sequences,
+    pad_and_truncate,
+    pad_sequence,
+    recent_window,
+    truncate_sequence,
+)
+from .synthetic import (
+    PRESETS,
+    SyntheticConfig,
+    SyntheticWorld,
+    generate_dataset,
+    generate_interaction_log,
+    generate_world,
+    load_preset,
+)
+
+__all__ = [
+    "Interaction",
+    "InteractionLog",
+    "RecDataset",
+    "DatasetStatistics",
+    "load_movielens_ratings",
+    "load_movielens_genres",
+    "load_amazon_ratings",
+    "load_csv_interactions",
+    "build_dataset",
+    "k_core_filter",
+    "leave_one_out_split",
+    "reindex_ids",
+    "NegativeSampler",
+    "UserGroupedBatch",
+    "UserGroupedBatcher",
+    "SequenceBatch",
+    "SequenceBatcher",
+    "PADDING_ID",
+    "truncate_sequence",
+    "pad_sequence",
+    "pad_and_truncate",
+    "batch_sequences",
+    "recent_window",
+    "SyntheticConfig",
+    "SyntheticWorld",
+    "generate_world",
+    "generate_interaction_log",
+    "generate_dataset",
+    "PRESETS",
+    "load_preset",
+]

@@ -1,0 +1,168 @@
+"""Dataset container and the Table I statistics.
+
+A :class:`RecDataset` bundles a training :class:`InteractionLog` with the
+held-out validation / test items produced by the paper's leave-one-out
+protocol ("for each user, hold out the latest interaction as the test data,
+treat the item just before the last as the validation set").
+
+:class:`DatasetStatistics` reproduces the columns of Table I: #users, #items,
+#actions, average sequence length and density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .interactions import InteractionLog
+
+__all__ = ["DatasetStatistics", "RecDataset"]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The per-dataset summary reported in Table I of the paper."""
+
+    name: str
+    num_users: int
+    num_items: int
+    num_actions: int
+    avg_sequence_length: float
+    density: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the statistics as a printable Table I row."""
+
+        return {
+            "Dataset": self.name,
+            "#users": self.num_users,
+            "#items": self.num_items,
+            "#actions": self.num_actions,
+            "avg.length": round(self.avg_sequence_length, 1),
+            "density": f"{self.density * 100:.2f}%",
+        }
+
+
+@dataclass
+class RecDataset:
+    """A fully preprocessed top-N recommendation dataset.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset name (e.g. ``"ml-1m-small"``).
+    train:
+        Interactions available for model fitting (everything except each
+        user's last two items under leave-one-out).
+    validation_items / test_items:
+        For each user id, the held-out next item used for validation / test.
+        Users with fewer than three interactions may be missing from these
+        maps — they are skipped during evaluation, as in the paper's
+        preprocessing which drops users with <5 actions.
+    num_users / num_items:
+        Sizes of the (contiguous) id spaces.
+    item_categories:
+        Optional item → category mapping used by the Figure 1 analysis and
+        the online simulation.
+    """
+
+    name: str
+    train: InteractionLog
+    validation_items: Dict[int, int] = field(default_factory=dict)
+    test_items: Dict[int, int] = field(default_factory=dict)
+    num_users: int = 0
+    num_items: int = 0
+    item_categories: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.num_users == 0:
+            self.num_users = self.train.num_users
+        if self.num_items == 0:
+            self.num_items = self.train.num_items
+        self._validate()
+
+    def _validate(self) -> None:
+        if len(self.train) and int(self.train.users.max()) >= self.num_users:
+            raise ValueError("train log references a user id outside num_users")
+        if len(self.train) and int(self.train.items.max()) >= self.num_items:
+            raise ValueError("train log references an item id outside num_items")
+        for mapping, label in ((self.validation_items, "validation"), (self.test_items, "test")):
+            for user, item in mapping.items():
+                if not 0 <= user < self.num_users:
+                    raise ValueError(f"{label} user id {user} out of range")
+                if not 0 <= item < self.num_items:
+                    raise ValueError(f"{label} item id {item} out of range")
+
+    # ------------------------------------------------------------------ #
+    # statistics (Table I)
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> DatasetStatistics:
+        """Compute the Table I row for this dataset.
+
+        The counts include the held-out validation/test actions so they match
+        the paper, which reports statistics *after preprocessing* but before
+        splitting.
+        """
+
+        held_out = len(self.validation_items) + len(self.test_items)
+        num_actions = len(self.train) + held_out
+        active_users = max(len(self.train.unique_users()), 1)
+        avg_length = num_actions / active_users
+        density = num_actions / float(max(self.num_users, 1) * max(self.num_items, 1))
+        return DatasetStatistics(
+            name=self.name,
+            num_users=self.num_users,
+            num_items=self.num_items,
+            num_actions=num_actions,
+            avg_sequence_length=avg_length,
+            density=density,
+        )
+
+    # ------------------------------------------------------------------ #
+    # convenience accessors
+    # ------------------------------------------------------------------ #
+    def evaluation_users(self, split: str = "test") -> List[int]:
+        """Users that have a held-out item for the given split."""
+
+        mapping = self.test_items if split == "test" else self.validation_items
+        return sorted(mapping.keys())
+
+    def full_sequence(self, user_id: int, include_validation: bool = False) -> List[int]:
+        """Training sequence for ``user_id``, optionally with the validation item appended.
+
+        The paper measures test performance after "adding all validation items
+        and users back to the training set"; passing
+        ``include_validation=True`` reproduces that input.
+        """
+
+        sequence = self.train.user_sequence(user_id)
+        if include_validation and user_id in self.validation_items:
+            sequence.append(self.validation_items[user_id])
+        return sequence
+
+    def with_validation_merged(self) -> "RecDataset":
+        """Return a copy whose train log includes every validation item."""
+
+        merged = self.train.copy()
+        if len(merged):
+            base_time = float(merged.timestamps.max()) + 1.0
+        else:
+            base_time = 0.0
+        from .interactions import Interaction
+
+        for offset, (user, item) in enumerate(sorted(self.validation_items.items())):
+            category = None
+            if self.item_categories is not None and item < len(self.item_categories):
+                category = int(self.item_categories[item])
+            merged.append(Interaction(user, item, base_time + offset, category))
+        return RecDataset(
+            name=self.name,
+            train=merged,
+            validation_items={},
+            test_items=dict(self.test_items),
+            num_users=self.num_users,
+            num_items=self.num_items,
+            item_categories=self.item_categories,
+        )

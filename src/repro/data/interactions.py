@@ -1,0 +1,267 @@
+"""Core interaction containers shared by every model and experiment.
+
+An e-commerce candidate-generation system consumes a log of *implicit
+feedback* events — ``(user, item, timestamp)`` clicks or purchases.  This
+module provides:
+
+* :class:`Interaction` — a single event (optionally carrying a category id,
+  used by the Figure 1 interest-drift analysis).
+* :class:`InteractionLog` — an append-friendly event log with chronological
+  per-user views, conversion to a sparse user-item matrix, and the per-user
+  item sets ``R⁺_u`` the paper's equations are written in terms of.
+
+All ids are contiguous non-negative integers; re-indexing raw dataset ids is
+the responsibility of :mod:`repro.data.preprocessing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["Interaction", "InteractionLog"]
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One implicit-feedback event."""
+
+    user_id: int
+    item_id: int
+    timestamp: float = 0.0
+    category_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.user_id < 0 or self.item_id < 0:
+            raise ValueError("user_id and item_id must be non-negative")
+
+
+class InteractionLog:
+    """A chronological log of user-item interactions.
+
+    The log keeps three synchronized NumPy arrays (users, items, timestamps)
+    plus an optional category array, and lazily materializes derived views
+    (per-user sequences, sparse matrix, item sets) that are invalidated on
+    append.  This mirrors how an online system accumulates new events while
+    models read consistent snapshots.
+    """
+
+    def __init__(
+        self,
+        users: Optional[Sequence[int]] = None,
+        items: Optional[Sequence[int]] = None,
+        timestamps: Optional[Sequence[float]] = None,
+        categories: Optional[Sequence[int]] = None,
+    ) -> None:
+        users = [] if users is None else list(users)
+        items = [] if items is None else list(items)
+        if len(users) != len(items):
+            raise ValueError("users and items must have the same length")
+        if timestamps is None:
+            timestamps = list(range(len(users)))
+        if len(timestamps) != len(users):
+            raise ValueError("timestamps must match the number of interactions")
+        if categories is not None and len(categories) != len(users):
+            raise ValueError("categories must match the number of interactions")
+
+        self._users: List[int] = [int(u) for u in users]
+        self._items: List[int] = [int(i) for i in items]
+        self._timestamps: List[float] = [float(t) for t in timestamps]
+        self._categories: Optional[List[int]] = (
+            [int(c) for c in categories] if categories is not None else None
+        )
+        self._dirty = True
+        self._user_sequences: Dict[int, List[int]] = {}
+        self._user_item_sets: Dict[int, set] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_interactions(cls, interactions: Iterable[Interaction]) -> "InteractionLog":
+        users, items, timestamps, categories = [], [], [], []
+        has_category = False
+        for event in interactions:
+            users.append(event.user_id)
+            items.append(event.item_id)
+            timestamps.append(event.timestamp)
+            categories.append(event.category_id if event.category_id is not None else -1)
+            has_category = has_category or event.category_id is not None
+        return cls(users, items, timestamps, categories if has_category else None)
+
+    def copy(self) -> "InteractionLog":
+        return InteractionLog(
+            list(self._users),
+            list(self._items),
+            list(self._timestamps),
+            list(self._categories) if self._categories is not None else None,
+        )
+
+    def append(self, interaction: Interaction) -> None:
+        """Append a new event (online arrival of a click/purchase)."""
+
+        self._users.append(interaction.user_id)
+        self._items.append(interaction.item_id)
+        self._timestamps.append(interaction.timestamp)
+        if self._categories is not None:
+            self._categories.append(
+                interaction.category_id if interaction.category_id is not None else -1
+            )
+        elif interaction.category_id is not None:
+            self._categories = [-1] * (len(self._users) - 1) + [interaction.category_id]
+        self._dirty = True
+
+    def extend(self, interactions: Iterable[Interaction]) -> None:
+        for interaction in interactions:
+            self.append(interaction)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def __iter__(self) -> Iterator[Interaction]:
+        for idx in range(len(self)):
+            yield Interaction(
+                self._users[idx],
+                self._items[idx],
+                self._timestamps[idx],
+                self._categories[idx] if self._categories is not None else None,
+            )
+
+    @property
+    def users(self) -> np.ndarray:
+        return np.asarray(self._users, dtype=np.int64)
+
+    @property
+    def items(self) -> np.ndarray:
+        return np.asarray(self._items, dtype=np.int64)
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return np.asarray(self._timestamps, dtype=np.float64)
+
+    @property
+    def categories(self) -> Optional[np.ndarray]:
+        if self._categories is None:
+            return None
+        return np.asarray(self._categories, dtype=np.int64)
+
+    @property
+    def num_users(self) -> int:
+        return int(max(self._users) + 1) if self._users else 0
+
+    @property
+    def num_items(self) -> int:
+        return int(max(self._items) + 1) if self._items else 0
+
+    def unique_users(self) -> np.ndarray:
+        return np.unique(self.users)
+
+    def unique_items(self) -> np.ndarray:
+        return np.unique(self.items)
+
+    # ------------------------------------------------------------------ #
+    # derived views
+    # ------------------------------------------------------------------ #
+    def _rebuild(self) -> None:
+        if not self._dirty:
+            return
+        order = np.argsort(np.asarray(self._timestamps), kind="stable")
+        sequences: Dict[int, List[int]] = {}
+        item_sets: Dict[int, set] = {}
+        users = self._users
+        items = self._items
+        for idx in order:
+            user = users[idx]
+            item = items[idx]
+            sequences.setdefault(user, []).append(item)
+            item_sets.setdefault(user, set()).add(item)
+        self._user_sequences = sequences
+        self._user_item_sets = item_sets
+        self._dirty = False
+
+    def user_sequence(self, user_id: int) -> List[int]:
+        """Items the user interacted with, in chronological order (``S_u``)."""
+
+        self._rebuild()
+        return list(self._user_sequences.get(user_id, []))
+
+    def user_item_set(self, user_id: int) -> set:
+        """The set ``R⁺_u`` of items the user has interacted with."""
+
+        self._rebuild()
+        return set(self._user_item_sets.get(user_id, set()))
+
+    def user_sequences(self) -> Dict[int, List[int]]:
+        """All chronological sequences keyed by user id (copies)."""
+
+        self._rebuild()
+        return {user: list(seq) for user, seq in self._user_sequences.items()}
+
+    def to_matrix(
+        self,
+        num_users: Optional[int] = None,
+        num_items: Optional[int] = None,
+    ) -> sparse.csr_matrix:
+        """Binary user-item matrix ``R ∈ {0,1}^{n×m}`` in CSR form."""
+
+        num_users = num_users if num_users is not None else self.num_users
+        num_items = num_items if num_items is not None else self.num_items
+        if len(self) == 0:
+            return sparse.csr_matrix((num_users, num_items))
+        data = np.ones(len(self), dtype=np.float64)
+        matrix = sparse.coo_matrix(
+            (data, (self.users, self.items)), shape=(num_users, num_items)
+        ).tocsr()
+        matrix.data[:] = 1.0  # collapse duplicate events into implicit feedback
+        return matrix
+
+    def interactions_per_user(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for user in self._users:
+            counts[user] = counts.get(user, 0) + 1
+        return counts
+
+    def interactions_per_item(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for item in self._items:
+            counts[item] = counts.get(item, 0) + 1
+        return counts
+
+    def item_popularity(self, num_items: Optional[int] = None) -> np.ndarray:
+        """Interaction counts per item id as a dense vector."""
+
+        num_items = num_items if num_items is not None else self.num_items
+        popularity = np.zeros(num_items, dtype=np.int64)
+        for item in self._items:
+            if item < num_items:
+                popularity[item] += 1
+        return popularity
+
+    def filter_users(self, user_ids: Iterable[int]) -> "InteractionLog":
+        """Return a new log containing only events from ``user_ids``."""
+
+        keep = set(int(u) for u in user_ids)
+        mask = [u in keep for u in self._users]
+        return self._filter(mask)
+
+    def filter_items(self, item_ids: Iterable[int]) -> "InteractionLog":
+        """Return a new log containing only events touching ``item_ids``."""
+
+        keep = set(int(i) for i in item_ids)
+        mask = [i in keep for i in self._items]
+        return self._filter(mask)
+
+    def _filter(self, mask: Sequence[bool]) -> "InteractionLog":
+        users = [u for u, keep in zip(self._users, mask) if keep]
+        items = [i for i, keep in zip(self._items, mask) if keep]
+        timestamps = [t for t, keep in zip(self._timestamps, mask) if keep]
+        categories = None
+        if self._categories is not None:
+            categories = [c for c, keep in zip(self._categories, mask) if keep]
+        return InteractionLog(users, items, timestamps, categories)

@@ -1,0 +1,192 @@
+"""Negative sampling and mini-batch construction.
+
+The paper trains every model "with negative sampling and view[s] the task as
+a binary classification problem" (eq. 9): observed user-item interactions are
+positives and unobserved items are sampled as negatives.  Two batching
+strategies are provided, matching the per-model training protocols:
+
+* :class:`UserGroupedBatcher` — FISM-style batches "formed from all
+  interactions of a randomly sampled user" (following He et al., NAIS).
+* :class:`SequenceBatcher` — SASRec-style next-item batches where the target
+  of ``[v₁, …, v_{L-1}]`` is the shifted sequence ``[v₂, …, v_L]`` and one
+  negative is drawn per position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .datasets import RecDataset
+from .sequences import PADDING_ID, pad_and_truncate
+
+__all__ = [
+    "NegativeSampler",
+    "UserGroupedBatch",
+    "UserGroupedBatcher",
+    "SequenceBatch",
+    "SequenceBatcher",
+]
+
+
+class NegativeSampler:
+    """Uniformly sample unobserved items for a user.
+
+    ``exclude`` sets are the user's observed items ``R⁺_u``; sampling retries
+    until it finds an unobserved item (with a deterministic fallback scan for
+    pathological cases where a user has consumed almost the whole catalog).
+    """
+
+    def __init__(self, num_items: int, rng: Optional[np.random.Generator] = None) -> None:
+        if num_items <= 0:
+            raise ValueError("num_items must be positive")
+        self.num_items = num_items
+        self._rng = rng or np.random.default_rng()
+
+    def sample(self, exclude: Set[int], size: int = 1) -> np.ndarray:
+        """Draw ``size`` negatives not contained in ``exclude``."""
+
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if len(exclude) >= self.num_items:
+            raise ValueError("cannot sample negatives: user has interacted with every item")
+        negatives = np.empty(size, dtype=np.int64)
+        for idx in range(size):
+            candidate = int(self._rng.integers(0, self.num_items))
+            attempts = 0
+            while candidate in exclude:
+                candidate = int(self._rng.integers(0, self.num_items))
+                attempts += 1
+                if attempts > 100:
+                    # Deterministic fallback: first unobserved item.
+                    for fallback in range(self.num_items):
+                        if fallback not in exclude:
+                            candidate = fallback
+                            break
+                    break
+            negatives[idx] = candidate
+        return negatives
+
+
+@dataclass
+class UserGroupedBatch:
+    """All training instances of a single user (FISM protocol)."""
+
+    user_id: int
+    history: np.ndarray          # item ids the user interacted with (training split)
+    positive_items: np.ndarray   # targets (== history items, each predicted from the others)
+    negative_items: np.ndarray   # sampled negatives, shape (num_positives, negatives_per_positive)
+
+
+class UserGroupedBatcher:
+    """Yield one :class:`UserGroupedBatch` per user in shuffled order."""
+
+    def __init__(
+        self,
+        dataset: RecDataset,
+        negatives_per_positive: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if negatives_per_positive <= 0:
+            raise ValueError("negatives_per_positive must be positive")
+        self.dataset = dataset
+        self.negatives_per_positive = negatives_per_positive
+        self._rng = rng or np.random.default_rng()
+        self._sampler = NegativeSampler(dataset.num_items, self._rng)
+        self._user_sequences = dataset.train.user_sequences()
+
+    def __len__(self) -> int:
+        return len(self._user_sequences)
+
+    def epoch(self) -> Iterator[UserGroupedBatch]:
+        users = list(self._user_sequences.keys())
+        self._rng.shuffle(users)
+        for user in users:
+            sequence = self._user_sequences[user]
+            if len(sequence) < 2:
+                continue
+            history = np.asarray(sequence, dtype=np.int64)
+            positives = history.copy()
+            exclude = set(int(i) for i in history)
+            negatives = np.stack(
+                [self._sampler.sample(exclude, self.negatives_per_positive) for _ in positives]
+            )
+            yield UserGroupedBatch(
+                user_id=user,
+                history=history,
+                positive_items=positives,
+                negative_items=negatives,
+            )
+
+
+@dataclass
+class SequenceBatch:
+    """A SASRec training batch of padded sequences and per-position targets."""
+
+    user_ids: np.ndarray         # (batch,)
+    input_sequences: np.ndarray  # (batch, max_length) — 0 is padding
+    positive_targets: np.ndarray  # (batch, max_length)
+    negative_targets: np.ndarray  # (batch, max_length)
+    mask: np.ndarray             # (batch, max_length) — 1 where a real target exists
+
+
+class SequenceBatcher:
+    """Build shifted next-item training batches for sequential models.
+
+    Item ids are offset by +1 inside the batch so that 0 can act as padding;
+    the models undo the shift when looking up their embedding tables.
+    """
+
+    def __init__(
+        self,
+        dataset: RecDataset,
+        max_length: int = 50,
+        batch_size: int = 32,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if max_length <= 1:
+            raise ValueError("max_length must be at least 2")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.max_length = max_length
+        self.batch_size = batch_size
+        self._rng = rng or np.random.default_rng()
+        self._sampler = NegativeSampler(dataset.num_items, self._rng)
+        self._user_sequences = {
+            user: seq for user, seq in dataset.train.user_sequences().items() if len(seq) >= 2
+        }
+
+    def __len__(self) -> int:
+        return (len(self._user_sequences) + self.batch_size - 1) // self.batch_size
+
+    def num_users(self) -> int:
+        return len(self._user_sequences)
+
+    def _build_row(self, user: int, sequence: Sequence[int]) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        shifted = [item + 1 for item in sequence]  # reserve 0 for padding
+        inputs = pad_and_truncate(shifted[:-1], self.max_length, PADDING_ID)
+        positives = pad_and_truncate(shifted[1:], self.max_length, PADDING_ID)
+        mask = (positives != PADDING_ID).astype(np.float64)
+        exclude = set(int(i) for i in sequence)
+        negatives = np.zeros(self.max_length, dtype=np.int64)
+        for pos in range(self.max_length):
+            if mask[pos]:
+                negatives[pos] = int(self._sampler.sample(exclude, 1)[0]) + 1
+        return inputs, positives, negatives, mask
+
+    def epoch(self) -> Iterator[SequenceBatch]:
+        users = list(self._user_sequences.keys())
+        self._rng.shuffle(users)
+        for start in range(0, len(users), self.batch_size):
+            chunk = users[start:start + self.batch_size]
+            rows = [self._build_row(user, self._user_sequences[user]) for user in chunk]
+            yield SequenceBatch(
+                user_ids=np.asarray(chunk, dtype=np.int64),
+                input_sequences=np.stack([r[0] for r in rows]),
+                positive_targets=np.stack([r[1] for r in rows]),
+                negative_targets=np.stack([r[2] for r in rows]),
+                mask=np.stack([r[3] for r in rows]),
+            )

@@ -1,0 +1,80 @@
+"""Sequence utilities for sequential recommenders (SASRec).
+
+Implements the truncation rule of eq. (3) — keep the most recent ``L`` items
+when a sequence exceeds the maximum length — plus left-padding to a fixed
+length so batches can be stacked into rectangular arrays.  Item id 0 is
+reserved as the padding token throughout the library; real item ids are
+shifted by +1 when fed to sequence models (handled inside the models).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PADDING_ID",
+    "truncate_sequence",
+    "pad_sequence",
+    "pad_and_truncate",
+    "batch_sequences",
+    "recent_window",
+]
+
+PADDING_ID = 0
+
+
+def truncate_sequence(sequence: Sequence[int], max_length: int) -> List[int]:
+    """Keep only the last ``max_length`` items (eq. 3)."""
+
+    if max_length <= 0:
+        raise ValueError("max_length must be positive")
+    sequence = list(sequence)
+    if len(sequence) <= max_length:
+        return sequence
+    return sequence[-max_length:]
+
+
+def pad_sequence(sequence: Sequence[int], length: int, pad_value: int = PADDING_ID) -> np.ndarray:
+    """Left-pad ``sequence`` with ``pad_value`` up to ``length``."""
+
+    if length <= 0:
+        raise ValueError("length must be positive")
+    sequence = list(sequence)
+    if len(sequence) > length:
+        raise ValueError("sequence longer than target length; truncate first")
+    padded = np.full(length, pad_value, dtype=np.int64)
+    if sequence:
+        padded[length - len(sequence):] = np.asarray(sequence, dtype=np.int64)
+    return padded
+
+
+def pad_and_truncate(sequence: Sequence[int], max_length: int, pad_value: int = PADDING_ID) -> np.ndarray:
+    """Truncate to the last ``max_length`` items, then left-pad to exactly that length."""
+
+    return pad_sequence(truncate_sequence(sequence, max_length), max_length, pad_value)
+
+
+def batch_sequences(
+    sequences: Sequence[Sequence[int]],
+    max_length: int,
+    pad_value: int = PADDING_ID,
+) -> np.ndarray:
+    """Stack variable-length sequences into a ``(batch, max_length)`` array."""
+
+    return np.stack([pad_and_truncate(seq, max_length, pad_value) for seq in sequences])
+
+
+def recent_window(sequence: Sequence[int], window: int) -> List[int]:
+    """The user's most recent ``window`` interactions.
+
+    The paper infers FISM user embeddings from "the recent 15 items" and
+    recommends "each user's latest 15 items to her/his similar users" in the
+    user-based component; this helper expresses that recency window.
+    """
+
+    if window <= 0:
+        raise ValueError("window must be positive")
+    sequence = list(sequence)
+    return sequence[-window:]

@@ -1,0 +1,18 @@
+"""Evaluation: ranking metrics, leave-one-out evaluator, latency measurement."""
+
+from .evaluator import EvaluationResult, Evaluator
+from .metrics import RankingMetrics, aggregate_ranks, hit_ratio_at_k, ndcg_at_k, rank_of_target
+from .timing import Stopwatch, TimingResult, time_callable
+
+__all__ = [
+    "Evaluator",
+    "EvaluationResult",
+    "RankingMetrics",
+    "rank_of_target",
+    "hit_ratio_at_k",
+    "ndcg_at_k",
+    "aggregate_ranks",
+    "TimingResult",
+    "time_callable",
+    "Stopwatch",
+]

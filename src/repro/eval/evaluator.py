@@ -1,0 +1,118 @@
+"""Leave-one-out evaluation over the full item set (Section IV-A2).
+
+For every user with a held-out item the evaluator asks the model to score the
+whole catalog, computes the rank of the ground-truth item (excluding the
+user's training interactions from the ranking, since the paper does not
+re-recommend ``R⁺_u``), and aggregates HR@k / NDCG@k.
+
+Two details mirror the paper's protocol:
+
+* validation-split evaluation uses the training history only;
+* test-split evaluation "adds all validation items and users back to the
+  training set", i.e. the user's history passed to the model includes her
+  validation item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.datasets import RecDataset
+from ..models.base import Recommender
+from .metrics import RankingMetrics, rank_of_target
+
+__all__ = ["EvaluationResult", "Evaluator"]
+
+
+@dataclass
+class EvaluationResult:
+    """Metrics plus per-user ranks for one (model, dataset, split) evaluation."""
+
+    model_name: str
+    dataset_name: str
+    split: str
+    metrics: Dict[str, float]
+    num_users: int
+    ranks: List[int] = field(default_factory=list)
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "model": self.model_name,
+            "dataset": self.dataset_name,
+            "split": self.split,
+            "users": self.num_users,
+        }
+        row.update({name: round(value, 4) for name, value in self.metrics.items()})
+        return row
+
+
+class Evaluator:
+    """Full-item-set, leave-one-out evaluator with the paper's cutoffs."""
+
+    def __init__(
+        self,
+        cutoffs: Sequence[int] = (20, 50, 100),
+        max_users: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.cutoffs = tuple(cutoffs)
+        self.max_users = max_users
+        self.seed = seed
+
+    def _select_users(self, users: List[int]) -> List[int]:
+        if self.max_users is None or len(users) <= self.max_users:
+            return users
+        rng = np.random.default_rng(self.seed)
+        chosen = rng.choice(len(users), size=self.max_users, replace=False)
+        return [users[i] for i in sorted(chosen)]
+
+    def evaluate(
+        self,
+        model: Recommender,
+        dataset: RecDataset,
+        split: str = "test",
+        model_name: Optional[str] = None,
+    ) -> EvaluationResult:
+        """Evaluate ``model`` on the given split of ``dataset``."""
+
+        if split not in ("test", "validation"):
+            raise ValueError("split must be 'test' or 'validation'")
+        targets = dataset.test_items if split == "test" else dataset.validation_items
+        users = self._select_users(sorted(targets.keys()))
+
+        metrics = RankingMetrics(self.cutoffs)
+        ranks: List[int] = []
+        for user in users:
+            target = targets[user]
+            history = dataset.full_sequence(user, include_validation=(split == "test"))
+            if not history:
+                continue
+            scores = model.score_items(user, history=history)
+            rank = rank_of_target(scores, target, exclude=history)
+            metrics.add(rank)
+            ranks.append(rank)
+
+        return EvaluationResult(
+            model_name=model_name or model.name,
+            dataset_name=dataset.name,
+            split=split,
+            metrics=metrics.compute(),
+            num_users=metrics.num_users,
+            ranks=ranks,
+        )
+
+    def evaluate_many(
+        self,
+        models: Dict[str, Recommender],
+        dataset: RecDataset,
+        split: str = "test",
+    ) -> List[EvaluationResult]:
+        """Evaluate several named models on the same dataset/split."""
+
+        return [
+            self.evaluate(model, dataset, split=split, model_name=name)
+            for name, model in models.items()
+        ]

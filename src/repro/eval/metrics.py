@@ -1,0 +1,108 @@
+"""Ranking metrics: Hit Ratio and NDCG (Section IV-A2 of the paper).
+
+Both metrics are defined for the leave-one-out, single-ground-truth-item
+protocol the paper uses:
+
+* ``HR@k`` — fraction of users whose held-out item appears in their top-k.
+* ``NDCG@k`` — position-aware variant; a hit at rank r contributes
+  ``1 / log2(r + 1)`` (with a single relevant item the ideal DCG is 1, so DCG
+  equals NDCG).
+
+Ranks are 1-based.  Helper functions compute the rank of a target item inside
+a full score vector, breaking ties pessimistically (an item with the same
+score as the target is counted as ranked above it), which avoids inflated
+metrics for models that emit many identical scores (e.g. Pop).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["rank_of_target", "hit_ratio_at_k", "ndcg_at_k", "RankingMetrics", "aggregate_ranks"]
+
+
+def rank_of_target(scores: np.ndarray, target: int, exclude: Optional[Iterable[int]] = None) -> int:
+    """1-based rank of ``target`` among ``scores`` (full item-set evaluation).
+
+    ``exclude`` items (the user's training interactions) are removed from the
+    ranking entirely; the target itself is never excluded.
+    """
+
+    scores = np.asarray(scores, dtype=np.float64)
+    if not 0 <= target < len(scores):
+        raise IndexError("target item id out of range")
+    target_score = scores[target]
+    mask = np.ones(len(scores), dtype=bool)
+    if exclude is not None:
+        exclude_ids = [i for i in exclude if 0 <= i < len(scores) and i != target]
+        if exclude_ids:
+            mask[np.asarray(exclude_ids, dtype=np.int64)] = False
+    considered = scores[mask]
+    # Pessimistic tie handling: ties rank above the target.
+    better_or_equal = int(np.sum(considered >= target_score))
+    return max(better_or_equal, 1)
+
+
+def hit_ratio_at_k(ranks: Sequence[int], k: int) -> float:
+    """HR@k = fraction of ranks ≤ k."""
+
+    ranks = np.asarray(list(ranks), dtype=np.int64)
+    if len(ranks) == 0:
+        return 0.0
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return float(np.mean(ranks <= k))
+
+
+def ndcg_at_k(ranks: Sequence[int], k: int) -> float:
+    """NDCG@k for single-relevant-item ranking: (2^1 - 1)/log2(rank+1) if rank ≤ k."""
+
+    ranks = np.asarray(list(ranks), dtype=np.int64)
+    if len(ranks) == 0:
+        return 0.0
+    if k <= 0:
+        raise ValueError("k must be positive")
+    gains = np.where(ranks <= k, 1.0 / np.log2(ranks + 1.0), 0.0)
+    return float(np.mean(gains))
+
+
+class RankingMetrics:
+    """Aggregate HR@k / NDCG@k for a set of cutoffs (20, 50, 100 in the paper)."""
+
+    def __init__(self, cutoffs: Sequence[int] = (20, 50, 100)) -> None:
+        if not cutoffs or any(k <= 0 for k in cutoffs):
+            raise ValueError("cutoffs must be positive integers")
+        self.cutoffs = tuple(sorted(set(int(k) for k in cutoffs)))
+        self._ranks: List[int] = []
+
+    def add(self, rank: int) -> None:
+        if rank < 1:
+            raise ValueError("rank must be 1-based (>= 1)")
+        self._ranks.append(int(rank))
+
+    def extend(self, ranks: Iterable[int]) -> None:
+        for rank in ranks:
+            self.add(rank)
+
+    @property
+    def num_users(self) -> int:
+        return len(self._ranks)
+
+    def compute(self) -> Dict[str, float]:
+        """Return ``{"HR@20": ..., "NDCG@20": ..., ...}`` for all cutoffs."""
+
+        results: Dict[str, float] = {}
+        for k in self.cutoffs:
+            results[f"HR@{k}"] = hit_ratio_at_k(self._ranks, k)
+            results[f"NDCG@{k}"] = ndcg_at_k(self._ranks, k)
+        return results
+
+
+def aggregate_ranks(ranks: Sequence[int], cutoffs: Sequence[int] = (20, 50, 100)) -> Dict[str, float]:
+    """Convenience wrapper: metrics dict straight from a rank list."""
+
+    metrics = RankingMetrics(cutoffs)
+    metrics.extend(ranks)
+    return metrics.compute()

@@ -1,0 +1,104 @@
+"""Latency measurement utilities for the real-time comparison (Table III).
+
+Production candidate generation lives or dies on tail latency; the paper's
+Table III reports the *average* per-new-interaction cost of UserKNN versus
+the SCCF user-based component, broken into "inferring time" and "identifying
+time".  These helpers time arbitrary callables with warm-up iterations and
+report mean / percentile statistics in milliseconds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["TimingResult", "time_callable", "Stopwatch"]
+
+
+@dataclass
+class TimingResult:
+    """Summary statistics (in milliseconds) of repeated timings."""
+
+    label: str
+    samples_ms: List[float]
+
+    @property
+    def mean_ms(self) -> float:
+        return float(np.mean(self.samples_ms)) if self.samples_ms else 0.0
+
+    @property
+    def median_ms(self) -> float:
+        return float(np.median(self.samples_ms)) if self.samples_ms else 0.0
+
+    @property
+    def p95_ms(self) -> float:
+        return float(np.percentile(self.samples_ms, 95)) if self.samples_ms else 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return float(np.sum(self.samples_ms))
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "mean_ms": round(self.mean_ms, 3),
+            "median_ms": round(self.median_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "samples": len(self.samples_ms),
+        }
+
+
+def time_callable(
+    func: Callable[[], object],
+    repetitions: int = 20,
+    warmup: int = 2,
+    label: str = "operation",
+) -> TimingResult:
+    """Time ``func`` ``repetitions`` times after ``warmup`` discarded runs."""
+
+    if repetitions <= 0:
+        raise ValueError("repetitions must be positive")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    for _ in range(warmup):
+        func()
+    samples: List[float] = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        func()
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return TimingResult(label=label, samples_ms=samples)
+
+
+class Stopwatch:
+    """Accumulate named timing samples across a streaming experiment."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+
+    def record(self, label: str, milliseconds: float) -> None:
+        if milliseconds < 0:
+            raise ValueError("milliseconds must be non-negative")
+        self._samples.setdefault(label, []).append(float(milliseconds))
+
+    def time(self, label: str, func: Callable[[], object]) -> object:
+        """Run ``func`` once, record its duration under ``label``, return its result."""
+
+        start = time.perf_counter()
+        result = func()
+        self.record(label, (time.perf_counter() - start) * 1000.0)
+        return result
+
+    def result(self, label: str) -> TimingResult:
+        return TimingResult(label=label, samples_ms=list(self._samples.get(label, [])))
+
+    def labels(self) -> Sequence[str]:
+        return list(self._samples.keys())
+
+    def summary(self) -> Dict[str, float]:
+        """Mean milliseconds per label."""
+
+        return {label: self.result(label).mean_ms for label in self._samples}

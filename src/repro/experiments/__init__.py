@@ -1,0 +1,59 @@
+"""Experiment runners regenerating every table and figure of the paper."""
+
+from .ab import format_table5, run_table5
+from .ablations import AblationRow, run_ann_ablation, run_merger_ablation, run_recency_ablation
+from .analysis_runs import format_figure1, format_table1, run_figure1, run_figure4, run_table1
+from .configs import (
+    DATASET_NAMES,
+    FULL,
+    QUICK,
+    ExperimentScale,
+    get_scale,
+    load_datasets,
+    make_baselines,
+    make_fism,
+    make_sasrec,
+    make_sccf,
+)
+from .realtime import RealtimeLatencyRow, format_table3, run_table3
+from .registry import EXPERIMENTS, ExperimentSpec, get_experiment, list_experiments
+from .sweeps import SweepPoint, format_sweep, run_dimension_sweep, run_neighbor_sweep
+from .table2 import Table2Row, format_table2, run_table2
+
+__all__ = [
+    "ExperimentScale",
+    "QUICK",
+    "FULL",
+    "get_scale",
+    "DATASET_NAMES",
+    "load_datasets",
+    "make_fism",
+    "make_sasrec",
+    "make_baselines",
+    "make_sccf",
+    "Table2Row",
+    "run_table2",
+    "format_table2",
+    "SweepPoint",
+    "run_dimension_sweep",
+    "run_neighbor_sweep",
+    "format_sweep",
+    "RealtimeLatencyRow",
+    "run_table3",
+    "format_table3",
+    "run_table1",
+    "format_table1",
+    "run_figure1",
+    "format_figure1",
+    "run_figure4",
+    "run_table5",
+    "format_table5",
+    "AblationRow",
+    "run_merger_ablation",
+    "run_ann_ablation",
+    "run_recency_ablation",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "get_experiment",
+    "list_experiments",
+]

@@ -1,0 +1,107 @@
+"""Runners for the two analysis figures: interest drift (Figure 1) and
+candidate-similarity distributions (Figure 4), plus the Table I statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis import (
+    CategoryDriftResult,
+    SimilarityDistributions,
+    candidate_similarity_distributions,
+    category_drift_distribution,
+)
+from ..data.datasets import DatasetStatistics, RecDataset
+from ..simulation import ClickstreamConfig, ClickstreamSimulator
+from .configs import ExperimentScale, get_scale, load_datasets, make_sasrec, make_sccf
+
+__all__ = ["run_table1", "run_figure1", "run_figure4", "format_table1", "format_figure1"]
+
+
+def run_table1(
+    scale: str | ExperimentScale = "quick",
+    datasets: Optional[Dict[str, RecDataset]] = None,
+) -> List[DatasetStatistics]:
+    """Table I: statistics of every (synthetic analog) dataset."""
+
+    scale = get_scale(scale)
+    datasets = datasets or load_datasets(scale)
+    return [dataset.statistics() for dataset in datasets.values()]
+
+
+def format_table1(statistics: Sequence[DatasetStatistics]) -> str:
+    lines = [f"{'Dataset':<16}{'#users':>10}{'#items':>10}{'#actions':>12}{'avg.length':>12}{'density':>10}"]
+    for stats in statistics:
+        row = stats.as_row()
+        lines.append(
+            f"{row['Dataset']:<16}{row['#users']:>10}{row['#items']:>10}"
+            f"{row['#actions']:>12}{row['avg.length']:>12}{row['density']:>10}"
+        )
+    return "\n".join(lines)
+
+
+def run_figure1(
+    num_users: int = 300,
+    num_days: int = 15,
+    window_days: int = 14,
+    seed: int = 0,
+    clickstream_config: Optional[ClickstreamConfig] = None,
+) -> CategoryDriftResult:
+    """Figure 1: distribution of days-since-first-click for today's categories.
+
+    Simulates a two-week (plus target day) clickstream with drifting user
+    interests and computes the per-day proportions; the headline number is
+    ``result.new_category_fraction`` — the paper reports roughly 0.5.
+    """
+
+    # Taobao has a very large category taxonomy relative to what a single user
+    # touches per day, which is what makes ~half of today's categories new;
+    # the default config reproduces that ratio with a wide catalog and strong
+    # day-to-day interest jumps.
+    config = clickstream_config or ClickstreamConfig(
+        num_users=num_users,
+        num_items=1500,
+        num_categories=150,
+        num_communities=12,
+        num_days=num_days,
+        category_jump_probability=0.5,
+        community_strength=0.2,
+        daily_drift=0.25,
+        seed=seed,
+    )
+    simulator = ClickstreamSimulator(config)
+    log = simulator.simulate()
+    return category_drift_distribution(log, window_days=window_days)
+
+
+def format_figure1(result: CategoryDriftResult) -> str:
+    lines = [f"{'days before today':>18}{'avg proportion':>16}"]
+    for row in result.as_rows():
+        bar = "#" * int(round(float(row["avg_proportion"]) * 60))
+        lines.append(f"{row['days_before_today']:>18}{row['avg_proportion']:>16}  {bar}")
+    lines.append(f"\nnew-category fraction (x=0 bar): {result.new_category_fraction:.3f}")
+    return "\n".join(lines)
+
+
+def run_figure4(
+    scale: str | ExperimentScale = "quick",
+    dataset: Optional[RecDataset] = None,
+    dataset_name: str = "ml-1m-small",
+    max_users: Optional[int] = 200,
+) -> SimilarityDistributions:
+    """Figure 4: user↔candidate cosine-similarity distributions for SASRec_SCCF.
+
+    The paper runs this analysis on ML-20M; the quick scale uses the ML-1M
+    analog for speed — the qualitative ordering (UI ≥ ground truth ≥ UU) is
+    what matters.
+    """
+
+    scale = get_scale(scale)
+    if dataset is None:
+        dataset = load_datasets(scale, names=(dataset_name,))[dataset_name]
+    sasrec = make_sasrec(scale)
+    sccf = make_sccf(sasrec, scale)
+    sccf.fit(dataset, fit_ui_model=True)
+    return candidate_similarity_distributions(sccf, dataset, max_users=max_users, seed=scale.seed)

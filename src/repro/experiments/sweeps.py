@@ -1,0 +1,157 @@
+"""Hyper-parameter sweeps: hidden dimension (Figure 5) and neighborhood size (Table IV).
+
+Both sweeps share the same structure: for every dataset and every value of
+the swept hyper-parameter, train the base UI model (FISM and/or SASRec), wrap
+it in SCCF, and report HR@50 / NDCG@50 for the base, UU and SCCF variants.
+Figure 5 sweeps the embedding dimension while keeping β fixed; Table IV
+sweeps β while keeping the dimension fixed (the UI column is constant across
+β by construction, exactly as in the paper's Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..data.datasets import RecDataset
+from ..eval import Evaluator
+from .configs import ExperimentScale, get_scale, load_datasets, make_fism, make_sasrec, make_sccf
+
+__all__ = ["SweepPoint", "run_dimension_sweep", "run_neighbor_sweep", "format_sweep"]
+
+
+@dataclass
+class SweepPoint:
+    """One measurement of a sweep: (dataset, base model, variant, swept value)."""
+
+    dataset: str
+    base_model: str
+    variant: str            # "UI", "UU" or "SCCF"
+    parameter: str          # "dimension" or "neighbors"
+    value: int
+    metrics: Dict[str, float]
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "dataset": self.dataset,
+            "model": f"{self.base_model}{'' if self.variant == 'UI' else self.variant}",
+            self.parameter: self.value,
+        }
+        row.update({name: round(value, 4) for name, value in self.metrics.items()})
+        return row
+
+
+def _make_ui_model(base_name: str, scale: ExperimentScale, embedding_dim: int):
+    if base_name == "FISM":
+        return make_fism(scale, embedding_dim=embedding_dim)
+    if base_name == "SASRec":
+        return make_sasrec(scale, embedding_dim=embedding_dim)
+    raise ValueError(f"unknown base model {base_name!r}")
+
+
+def _evaluate_modes(
+    sccf,
+    dataset: RecDataset,
+    evaluator: Evaluator,
+    dataset_name: str,
+    base_name: str,
+    parameter: str,
+    value: int,
+) -> List[SweepPoint]:
+    points: List[SweepPoint] = []
+    for mode, variant in (("ui", "UI"), ("uu", "UU"), ("sccf", "SCCF")):
+        sccf.set_mode(mode)
+        result = evaluator.evaluate(sccf, dataset, model_name=f"{base_name}{variant}")
+        points.append(
+            SweepPoint(
+                dataset=dataset_name,
+                base_model=base_name,
+                variant=variant,
+                parameter=parameter,
+                value=value,
+                metrics=result.metrics,
+            )
+        )
+    return points
+
+
+def run_dimension_sweep(
+    scale: str | ExperimentScale = "quick",
+    datasets: Optional[Dict[str, RecDataset]] = None,
+    dimensions: Optional[Sequence[int]] = None,
+    base_models: Sequence[str] = ("FISM", "SASRec"),
+    cutoffs: Sequence[int] = (50,),
+) -> List[SweepPoint]:
+    """Figure 5: HR@50 / NDCG@50 as a function of the embedding dimension."""
+
+    scale = get_scale(scale)
+    datasets = datasets or load_datasets(scale)
+    dimensions = tuple(dimensions or scale.dimension_grid)
+    evaluator = Evaluator(cutoffs=cutoffs, max_users=scale.max_eval_users, seed=scale.seed)
+
+    points: List[SweepPoint] = []
+    for dataset_name, dataset in datasets.items():
+        for base_name in base_models:
+            for dimension in dimensions:
+                ui_model = _make_ui_model(base_name, scale, dimension)
+                sccf = make_sccf(ui_model, scale)
+                sccf.fit(dataset, fit_ui_model=True)
+                points.extend(
+                    _evaluate_modes(
+                        sccf, dataset, evaluator, dataset_name, base_name, "dimension", dimension
+                    )
+                )
+    return points
+
+
+def run_neighbor_sweep(
+    scale: str | ExperimentScale = "quick",
+    datasets: Optional[Dict[str, RecDataset]] = None,
+    neighbor_counts: Optional[Sequence[int]] = None,
+    base_models: Sequence[str] = ("FISM", "SASRec"),
+    cutoffs: Sequence[int] = (50,),
+) -> List[SweepPoint]:
+    """Table IV: NDCG@50 as a function of the neighborhood size β.
+
+    The UI model is trained once per (dataset, base model) and reused across
+    β values — only the user-based component and the merger depend on β —
+    which also mirrors how the framework would be tuned in practice.
+    """
+
+    scale = get_scale(scale)
+    datasets = datasets or load_datasets(scale)
+    neighbor_counts = tuple(neighbor_counts or scale.neighbor_grid)
+    evaluator = Evaluator(cutoffs=cutoffs, max_users=scale.max_eval_users, seed=scale.seed)
+
+    points: List[SweepPoint] = []
+    for dataset_name, dataset in datasets.items():
+        for base_name in base_models:
+            ui_model = _make_ui_model(base_name, scale, scale.embedding_dim)
+            ui_model.fit(dataset)
+            for beta in neighbor_counts:
+                sccf = make_sccf(ui_model, scale, num_neighbors=beta)
+                sccf.fit(dataset, fit_ui_model=False)
+                points.extend(
+                    _evaluate_modes(
+                        sccf, dataset, evaluator, dataset_name, base_name, "neighbors", beta
+                    )
+                )
+    return points
+
+
+def format_sweep(points: Sequence[SweepPoint], metric: str = "NDCG@50") -> str:
+    """Render sweep points as a compact table grouped by dataset and model."""
+
+    if not points:
+        return "(no results)"
+    parameter = points[0].parameter
+    values = sorted({p.value for p in points})
+    lines = [f"{'dataset':<14}{'model':<14}" + "".join(f"{parameter}={v:<10}" for v in values)]
+    groups: Dict[tuple, Dict[int, float]] = {}
+    for point in points:
+        key = (point.dataset, f"{point.base_model}{'' if point.variant == 'UI' else point.variant}")
+        groups.setdefault(key, {})[point.value] = point.metrics.get(metric, 0.0)
+    for (dataset, model), metric_by_value in groups.items():
+        cells = "".join(f"{metric_by_value.get(v, 0.0):<{len(parameter) + 11}.4f}" for v in values)
+        lines.append(f"{dataset:<14}{model:<14}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Table II runner: performance comparison of all methods on the four datasets.
+
+For every dataset the runner fits the baselines (Pop, ItemKNN, UserKNN,
+BPR-MF), then each SCCF base model (FISM, SASRec), and evaluates the base
+model, the pure user-based component (``*_UU``) and the full framework
+(``*_SCCF``) — the ten columns of Table II — reporting HR and NDCG at
+20 / 50 / 100 and the relative improvement of SCCF over its base model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..data.datasets import RecDataset
+from ..eval import Evaluator
+from .configs import (
+    ExperimentScale,
+    get_scale,
+    load_datasets,
+    make_baselines,
+    make_fism,
+    make_sasrec,
+    make_sccf,
+)
+
+__all__ = ["Table2Row", "run_table2", "format_table2"]
+
+
+@dataclass
+class Table2Row:
+    """One (dataset, model) cell group of Table II."""
+
+    dataset: str
+    model: str
+    metrics: Dict[str, float]
+    improvement_over: Optional[str] = None
+    improvements: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {"dataset": self.dataset, "model": self.model}
+        row.update({name: round(value, 4) for name, value in self.metrics.items()})
+        if self.improvements:
+            row.update(
+                {f"improv_{name}": f"{value * 100:.2f}%" for name, value in self.improvements.items()}
+            )
+        return row
+
+
+def _relative_improvement(base: Dict[str, float], new: Dict[str, float]) -> Dict[str, float]:
+    improvements = {}
+    for key, base_value in base.items():
+        if base_value > 0:
+            improvements[key] = new.get(key, 0.0) / base_value - 1.0
+        else:
+            improvements[key] = 0.0
+    return improvements
+
+
+def run_table2(
+    scale: str | ExperimentScale = "quick",
+    datasets: Optional[Dict[str, RecDataset]] = None,
+    cutoffs: Sequence[int] = (20, 50, 100),
+    base_models: Sequence[str] = ("FISM", "SASRec"),
+    include_baselines: bool = True,
+) -> List[Table2Row]:
+    """Regenerate the Table II rows at the requested scale."""
+
+    scale = get_scale(scale)
+    datasets = datasets or load_datasets(scale)
+    evaluator = Evaluator(cutoffs=cutoffs, max_users=scale.max_eval_users, seed=scale.seed)
+    rows: List[Table2Row] = []
+
+    for dataset_name, dataset in datasets.items():
+        if include_baselines:
+            for name, model in make_baselines(scale).items():
+                model.fit(dataset)
+                result = evaluator.evaluate(model, dataset, model_name=name)
+                rows.append(Table2Row(dataset=dataset_name, model=name, metrics=result.metrics))
+
+        for base_name in base_models:
+            if base_name == "FISM":
+                ui_model = make_fism(scale)
+            elif base_name == "SASRec":
+                ui_model = make_sasrec(scale)
+            else:
+                raise ValueError(f"unknown base model {base_name!r}")
+
+            sccf = make_sccf(ui_model, scale)
+            sccf.fit(dataset, fit_ui_model=True)
+
+            mode_metrics: Dict[str, Dict[str, float]] = {}
+            for mode, label in (("ui", base_name), ("uu", f"{base_name}UU"), ("sccf", f"{base_name}SCCF")):
+                sccf.set_mode(mode)
+                result = evaluator.evaluate(sccf, dataset, model_name=label)
+                mode_metrics[mode] = result.metrics
+                improvements = (
+                    _relative_improvement(mode_metrics["ui"], result.metrics) if mode == "sccf" else {}
+                )
+                rows.append(
+                    Table2Row(
+                        dataset=dataset_name,
+                        model=label,
+                        metrics=result.metrics,
+                        improvement_over=base_name if mode == "sccf" else None,
+                        improvements=improvements,
+                    )
+                )
+    return rows
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    """Render the rows as an aligned text table (one block per dataset)."""
+
+    if not rows:
+        return "(no results)"
+    metric_names = list(rows[0].metrics.keys())
+    lines: List[str] = []
+    current_dataset = None
+    header = f"{'model':<14}" + "".join(f"{name:>12}" for name in metric_names)
+    for row in rows:
+        if row.dataset != current_dataset:
+            current_dataset = row.dataset
+            lines.append("")
+            lines.append(f"=== {current_dataset} ===")
+            lines.append(header)
+        values = "".join(f"{row.metrics.get(name, 0.0):>12.4f}" for name in metric_names)
+        lines.append(f"{row.model:<14}{values}")
+        if row.improvements:
+            improvements = "".join(
+                f"{row.improvements.get(name, 0.0) * 100:>11.2f}%" for name in metric_names
+            )
+            lines.append(f"{'  improv.':<14}{improvements}")
+    return "\n".join(lines)

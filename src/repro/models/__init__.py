@@ -1,0 +1,23 @@
+"""Baseline and UI recommendation models evaluated in the paper."""
+
+from .base import InductiveUIModel, Recommender, exclude_seen_items
+from .bprmf import BPRMF
+from .fism import FISM
+from .itemknn import ItemKNN
+from .popularity import Popularity
+from .sasrec import SASRec
+from .userknn import UserKNN
+from .youtube_dnn import YouTubeDNN
+
+__all__ = [
+    "Recommender",
+    "InductiveUIModel",
+    "exclude_seen_items",
+    "Popularity",
+    "ItemKNN",
+    "UserKNN",
+    "BPRMF",
+    "FISM",
+    "SASRec",
+    "YouTubeDNN",
+]

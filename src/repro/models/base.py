@@ -1,0 +1,149 @@
+"""Model interfaces for candidate generation.
+
+Two levels of capability matter in this reproduction:
+
+* :class:`Recommender` — anything that can score the whole item catalog for a
+  user and emit a top-N candidate list (all baselines qualify).
+* :class:`InductiveUIModel` — a UI model that can additionally *infer* a user
+  representation from an arbitrary interaction history **without retraining**
+  and expose its item embedding table.  This inductive property is what makes
+  the SCCF user-based component feasible in real time (Section III-C2): when
+  a user clicks a new item, her embedding is recomputed by a forward pass and
+  her neighborhood is re-identified by similarity search.
+
+Both interfaces operate on item ids in ``[0, num_items)`` and return dense
+score vectors over the full catalog, matching the paper's full-item-set
+evaluation protocol.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.datasets import RecDataset
+
+__all__ = ["Recommender", "InductiveUIModel", "exclude_seen_items"]
+
+
+def exclude_seen_items(scores: np.ndarray, seen: Iterable[int]) -> np.ndarray:
+    """Return a copy of ``scores`` with already-interacted items set to -inf.
+
+    The paper "assume[s] that user u will not click items in R⁺_u once more,
+    so we do not recommend items in R⁺_u".
+    """
+
+    masked = np.array(scores, dtype=np.float64, copy=True)
+    seen = list(seen)
+    if seen:
+        masked[np.asarray(seen, dtype=np.int64)] = -np.inf
+    return masked
+
+
+class Recommender(abc.ABC):
+    """Anything that can produce a ranked candidate list for a user."""
+
+    #: populated by :meth:`fit`
+    num_users: int = 0
+    num_items: int = 0
+
+    @abc.abstractmethod
+    def fit(self, dataset: RecDataset) -> "Recommender":
+        """Train (or precompute) on the dataset's training interactions."""
+
+    @abc.abstractmethod
+    def score_items(self, user_id: int, history: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Score every item in the catalog for ``user_id``.
+
+        ``history`` optionally overrides the training-time interaction history
+        (used to inject the freshest events in real-time serving and to score
+        test users with their validation item merged back in).
+        """
+
+    def recommend(
+        self,
+        user_id: int,
+        k: int,
+        history: Optional[Sequence[int]] = None,
+        exclude: Optional[Iterable[int]] = None,
+    ) -> List[int]:
+        """Return the top-``k`` item ids for ``user_id`` (highest score first)."""
+
+        if k <= 0:
+            raise ValueError("k must be positive")
+        scores = self.score_items(user_id, history=history)
+        if exclude is not None:
+            scores = exclude_seen_items(scores, exclude)
+        k = min(k, len(scores))
+        top = np.argpartition(-scores, kth=k - 1)[:k]
+        ordered = top[np.argsort(-scores[top], kind="stable")]
+        return [int(item) for item in ordered if np.isfinite(scores[item])]
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class InductiveUIModel(Recommender):
+    """A UI model whose user representation can be inferred on the fly.
+
+    Concrete subclasses: :class:`~repro.models.fism.FISM`,
+    :class:`~repro.models.sasrec.SASRec`,
+    :class:`~repro.models.youtube_dnn.YouTubeDNN`.
+    """
+
+    @abc.abstractmethod
+    def infer_user_embedding(self, history: Sequence[int]) -> np.ndarray:
+        """Compute the user representation ``m_u`` from an interaction history.
+
+        This is the inference-not-training step the framework relies on: the
+        returned vector lives in the same space as :meth:`item_embeddings`, so
+        UI scores are dot products and user-user similarity is a cosine.
+        """
+
+    @abc.abstractmethod
+    def item_embeddings(self) -> np.ndarray:
+        """The output item embedding table ``q_i`` (shape ``(num_items, dim)``)."""
+
+    def user_embedding(self, user_id: int, history: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Embedding of a known user, defaulting to her training history."""
+
+        if history is None:
+            history = self.training_history(user_id)
+        return self.infer_user_embedding(history)
+
+    def training_history(self, user_id: int) -> List[int]:
+        """The chronological training-split history of ``user_id``."""
+
+        histories = getattr(self, "_user_histories", None)
+        if histories is None:
+            raise RuntimeError("model has not been fitted")
+        return list(histories.get(user_id, []))
+
+    def all_user_embeddings(self, histories: Optional[Dict[int, Sequence[int]]] = None) -> np.ndarray:
+        """Stack embeddings for every user id in ``[0, num_users)``.
+
+        Users with empty histories receive a zero vector (they cannot be
+        anyone's informative neighbor).
+        """
+
+        table = np.zeros((self.num_users, self.embedding_dim), dtype=np.float64)
+        for user in range(self.num_users):
+            if histories is not None and user in histories:
+                history = list(histories[user])
+            else:
+                history = self.training_history(user) if hasattr(self, "_user_histories") else []
+            if history:
+                table[user] = self.infer_user_embedding(history)
+        return table
+
+    @property
+    def embedding_dim(self) -> int:
+        return int(self.item_embeddings().shape[1])
+
+    def ui_scores(self, user_embedding: np.ndarray) -> np.ndarray:
+        """UI preference ``r̂^UI_{ui} = m_uᵀ q_i`` for every item (eq. 10)."""
+
+        return np.asarray(user_embedding, dtype=np.float64) @ self.item_embeddings().T

@@ -1,0 +1,114 @@
+"""BPR-MF baseline (Rendle et al., 2009).
+
+Matrix factorization optimized with the pairwise Bayesian Personalized
+Ranking loss: for a sampled triple ``(u, i⁺, i⁻)`` the model maximizes
+``log σ(p_uᵀ q_{i⁺} − p_uᵀ q_{i⁻})``.  BPR-MF keeps an explicit per-user
+embedding table, which makes it *transductive*: new interactions cannot
+update ``p_u`` without further gradient steps.  It therefore serves only as a
+Table II baseline, not as an SCCF base model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..data.datasets import RecDataset
+from ..data.sampling import NegativeSampler
+from ..nn import functional as F
+from .base import Recommender
+
+__all__ = ["BPRMF"]
+
+
+class BPRMF(Recommender):
+    """Matrix factorization with the BPR pairwise ranking loss."""
+
+    def __init__(
+        self,
+        embedding_dim: int = 64,
+        learning_rate: float = 0.001,
+        weight_decay: float = 1e-5,
+        num_epochs: int = 10,
+        batch_size: int = 256,
+        seed: int = 0,
+    ) -> None:
+        if embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        if num_epochs <= 0:
+            raise ValueError("num_epochs must be positive")
+        self.embedding_dim = embedding_dim
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.num_epochs = num_epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.user_embeddings: Optional[nn.Embedding] = None
+        self.item_embeddings_table: Optional[nn.Embedding] = None
+        self._user_histories: Dict[int, List[int]] = {}
+        self.loss_history: List[float] = []
+
+    def fit(self, dataset: RecDataset) -> "BPRMF":
+        self.num_users = dataset.num_users
+        self.num_items = dataset.num_items
+        self._user_histories = dataset.train.user_sequences()
+
+        self.user_embeddings = nn.Embedding(self.num_users, self.embedding_dim, std=0.01, rng=self._rng)
+        self.item_embeddings_table = nn.Embedding(self.num_items, self.embedding_dim, std=0.01, rng=self._rng)
+        parameters = list(self.user_embeddings.parameters()) + list(self.item_embeddings_table.parameters())
+
+        users = dataset.train.users
+        items = dataset.train.items
+        num_interactions = len(users)
+        if num_interactions == 0:
+            return self
+
+        total_steps = max(1, self.num_epochs * ((num_interactions + self.batch_size - 1) // self.batch_size))
+        optimizer = nn.Adam(
+            parameters,
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
+            schedule=nn.LinearDecay(total_steps),
+        )
+        sampler = NegativeSampler(self.num_items, self._rng)
+        user_sets = {user: set(seq) for user, seq in self._user_histories.items()}
+
+        for _ in range(self.num_epochs):
+            order = self._rng.permutation(num_interactions)
+            epoch_loss = 0.0
+            num_batches = 0
+            for start in range(0, num_interactions, self.batch_size):
+                batch_idx = order[start:start + self.batch_size]
+                batch_users = users[batch_idx]
+                batch_pos = items[batch_idx]
+                batch_neg = np.array(
+                    [sampler.sample(user_sets.get(int(u), set()), 1)[0] for u in batch_users],
+                    dtype=np.int64,
+                )
+                user_vecs = self.user_embeddings(batch_users)
+                pos_vecs = self.item_embeddings_table(batch_pos)
+                neg_vecs = self.item_embeddings_table(batch_neg)
+                pos_scores = (user_vecs * pos_vecs).sum(axis=1)
+                neg_scores = (user_vecs * neg_vecs).sum(axis=1)
+                loss = F.bpr_loss(pos_scores, neg_scores)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                num_batches += 1
+            self.loss_history.append(epoch_loss / max(num_batches, 1))
+        return self
+
+    def score_items(self, user_id: int, history: Optional[Sequence[int]] = None) -> np.ndarray:
+        if self.user_embeddings is None or self.item_embeddings_table is None:
+            raise RuntimeError("BPRMF model has not been fitted")
+        if not 0 <= user_id < self.num_users:
+            # Cold user: BPR-MF has no inductive path; fall back to the
+            # average user embedding, documenting the transductive limitation.
+            user_vector = self.user_embeddings.weight.data.mean(axis=0)
+        else:
+            user_vector = self.user_embeddings.weight.data[user_id]
+        return user_vector @ self.item_embeddings_table.weight.data.T

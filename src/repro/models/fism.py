@@ -1,0 +1,165 @@
+"""FISM — Factored Item Similarity Model (Kabbur et al., 2013).
+
+FISM is the shallow *inductive* UI model the paper uses as its first SCCF
+base model.  A user is represented purely by the items she interacted with
+(eq. 1):
+
+    m_u = (1 / |R⁺_u|^α) · Σ_{j ∈ R⁺_u} p_j
+
+so a new interaction only requires re-aggregating item vectors — inference,
+not training — which is the property SCCF's real-time user-based component
+relies on.  Scores are dot products ``r̂^UI_{ui} = m_uᵀ q_i`` (eq. 10) with a
+*homogeneous* item embedding (``q ≡ p``), as the paper chooses "to reduce the
+model size and alleviate overfitting".
+
+Training follows eq. (9): negative-sampled binary cross-entropy over each
+user's interactions, batched per user as in NAIS (He et al., 2018).  The
+diagonal is excluded (an item does not predict itself), matching the original
+FISM formulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..data.datasets import RecDataset
+from ..data.sampling import UserGroupedBatcher
+from ..data.sequences import recent_window
+from ..nn import functional as F
+from .base import InductiveUIModel
+
+__all__ = ["FISM"]
+
+
+class FISM(InductiveUIModel):
+    """Factored item similarity model with α-normalized history pooling.
+
+    Parameters
+    ----------
+    embedding_dim:
+        Dimension of the shared item embedding space (``d``).
+    alpha:
+        History-normalization exponent of eq. (1); the paper sets ``α = 0.5``.
+    inference_window:
+        Number of most recent interactions used when inferring a user
+        embedding at serving time — the paper uses "the recent 15 items ...
+        since users' interests are dynamically changed".
+    negatives_per_positive:
+        Negative samples drawn per observed interaction during training.
+    """
+
+    def __init__(
+        self,
+        embedding_dim: int = 64,
+        alpha: float = 0.5,
+        learning_rate: float = 0.001,
+        weight_decay: float = 0.0,
+        num_epochs: int = 10,
+        negatives_per_positive: int = 4,
+        inference_window: int = 15,
+        seed: int = 0,
+    ) -> None:
+        if embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if inference_window <= 0:
+            raise ValueError("inference_window must be positive")
+        self.embedding_dim_config = embedding_dim
+        self.alpha = alpha
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.num_epochs = num_epochs
+        self.negatives_per_positive = negatives_per_positive
+        self.inference_window = inference_window
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.item_table: Optional[nn.Embedding] = None
+        self._user_histories: Dict[int, List[int]] = {}
+        self.loss_history: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit(self, dataset: RecDataset) -> "FISM":
+        self.num_users = dataset.num_users
+        self.num_items = dataset.num_items
+        self._user_histories = dataset.train.user_sequences()
+        self.item_table = nn.Embedding(self.num_items, self.embedding_dim_config, std=0.01, rng=self._rng)
+
+        batcher = UserGroupedBatcher(dataset, self.negatives_per_positive, rng=self._rng)
+        num_batches_per_epoch = max(len(batcher), 1)
+        optimizer = nn.Adam(
+            self.item_table.parameters(),
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
+            schedule=nn.LinearDecay(max(1, self.num_epochs * num_batches_per_epoch)),
+        )
+
+        for _ in range(self.num_epochs):
+            epoch_loss = 0.0
+            count = 0
+            for batch in batcher.epoch():
+                loss = self._batch_loss(batch.history, batch.positive_items, batch.negative_items)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                count += 1
+            self.loss_history.append(epoch_loss / max(count, 1))
+        return self
+
+    def _batch_loss(
+        self,
+        history: np.ndarray,
+        positives: np.ndarray,
+        negatives: np.ndarray,
+    ) -> nn.Tensor:
+        """Negative-sampled BCE over one user's interactions (eq. 9).
+
+        Each positive item ``i`` is predicted from the *other* items in the
+        history (leave-one-out pooling, excluding the diagonal), while the
+        negatives for that position are scored against the same pooled user
+        vector.
+        """
+
+        history_vectors = self.item_table(history)              # (H, d)
+        total = history_vectors.sum(axis=0, keepdims=True)      # (1, d)
+        denom = float(max(len(history) - 1, 1)) ** self.alpha
+        pooled = (total - history_vectors) / denom               # (H, d): m_u without item i
+
+        positive_vectors = self.item_table(positives)            # (H, d)
+        positive_scores = (pooled * positive_vectors).sum(axis=1)  # (H,)
+
+        negative_vectors = self.item_table(negatives)             # (H, K, d)
+        pooled_expanded = pooled.reshape(len(history), 1, self.embedding_dim_config)
+        negative_scores = (pooled_expanded * negative_vectors).sum(axis=2)  # (H, K)
+
+        logits = F.concatenate([positive_scores, negative_scores.reshape(-1)], axis=0)
+        targets = np.concatenate([np.ones(len(positives)), np.zeros(negative_scores.size)])
+        return F.binary_cross_entropy_with_logits(logits, targets)
+
+    # ------------------------------------------------------------------ #
+    # inductive inference (eq. 1) and scoring (eq. 10)
+    # ------------------------------------------------------------------ #
+    def infer_user_embedding(self, history: Sequence[int]) -> np.ndarray:
+        if self.item_table is None:
+            raise RuntimeError("FISM model has not been fitted")
+        window = recent_window([i for i in history if 0 <= i < self.num_items], self.inference_window)
+        if not window:
+            return np.zeros(self.embedding_dim_config)
+        vectors = self.item_table.weight.data[np.asarray(window, dtype=np.int64)]
+        return vectors.sum(axis=0) / float(len(window)) ** self.alpha
+
+    def item_embeddings(self) -> np.ndarray:
+        if self.item_table is None:
+            raise RuntimeError("FISM model has not been fitted")
+        return self.item_table.weight.data
+
+    def score_items(self, user_id: int, history: Optional[Sequence[int]] = None) -> np.ndarray:
+        if history is None:
+            history = self._user_histories.get(user_id, [])
+        return self.ui_scores(self.infer_user_embedding(history))

@@ -1,0 +1,177 @@
+"""YouTube-DNN-style candidate generator (Covington et al., 2016).
+
+The online A/B test in Section IV-F compares SCCF against "a deep model
+similar to the method proposed by Covington et al." as the production
+baseline.  This module implements that baseline in the same inductive-UI
+shape used elsewhere in the library: the user's recent item embeddings are
+averaged and passed through a small feed-forward tower, and the output vector
+is matched against the item embedding table with a dot product.  Training is
+negative-sampled next-item binary classification, exactly like the other UI
+models, so the A/B simulator can serve either model interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..data.datasets import RecDataset
+from ..data.sampling import NegativeSampler
+from ..data.sequences import recent_window
+from ..nn import functional as F
+from .base import InductiveUIModel
+
+__all__ = ["YouTubeDNN"]
+
+
+class YouTubeDNN(InductiveUIModel):
+    """Averaged-history DNN retrieval model used as the online A/B baseline."""
+
+    def __init__(
+        self,
+        embedding_dim: int = 64,
+        hidden_dims: Sequence[int] = (64,),
+        history_window: int = 15,
+        learning_rate: float = 0.001,
+        weight_decay: float = 0.0,
+        num_epochs: int = 8,
+        negatives_per_positive: int = 4,
+        batch_size: int = 128,
+        seed: int = 0,
+    ) -> None:
+        if embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        if history_window <= 0:
+            raise ValueError("history_window must be positive")
+        self.embedding_dim_config = embedding_dim
+        self.hidden_dims = tuple(hidden_dims)
+        self.history_window = history_window
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.num_epochs = num_epochs
+        self.negatives_per_positive = negatives_per_positive
+        self.batch_size = batch_size
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.item_table: Optional[nn.Embedding] = None
+        self.tower: Optional[nn.MLP] = None
+        self._user_histories: Dict[int, List[int]] = {}
+        self.loss_history: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit(self, dataset: RecDataset) -> "YouTubeDNN":
+        self.num_users = dataset.num_users
+        self.num_items = dataset.num_items
+        self._user_histories = dataset.train.user_sequences()
+        self.item_table = nn.Embedding(self.num_items, self.embedding_dim_config, std=0.01, rng=self._rng)
+        self.tower = nn.MLP(
+            input_dim=self.embedding_dim_config,
+            hidden_dims=self.hidden_dims,
+            output_dim=self.embedding_dim_config,
+            rng=self._rng,
+        )
+        parameters = list(self.item_table.parameters()) + list(self.tower.parameters())
+
+        examples = self._build_examples()
+        if not examples:
+            return self
+        sampler = NegativeSampler(self.num_items, self._rng)
+        user_sets = {user: set(seq) for user, seq in self._user_histories.items()}
+        steps = max(1, self.num_epochs * ((len(examples) + self.batch_size - 1) // self.batch_size))
+        optimizer = nn.Adam(
+            parameters,
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
+            schedule=nn.LinearDecay(steps),
+        )
+
+        for _ in range(self.num_epochs):
+            self._rng.shuffle(examples)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, len(examples), self.batch_size):
+                chunk = examples[start:start + self.batch_size]
+                loss = self._batch_loss(chunk, sampler, user_sets)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            self.loss_history.append(epoch_loss / max(batches, 1))
+        self.tower.eval()
+        return self
+
+    def _build_examples(self) -> List[tuple]:
+        """(user, history_prefix, target) training triples from each sequence."""
+
+        examples: List[tuple] = []
+        for user, sequence in self._user_histories.items():
+            if len(sequence) < 2:
+                continue
+            for split in range(1, len(sequence)):
+                prefix = recent_window(sequence[:split], self.history_window)
+                examples.append((user, tuple(prefix), sequence[split]))
+        return examples
+
+    def _forward_user(self, histories: List[Sequence[int]]) -> nn.Tensor:
+        """Average the history item embeddings and apply the tower."""
+
+        pooled_rows = []
+        for history in histories:
+            ids = np.asarray(history, dtype=np.int64)
+            vectors = self.item_table(ids)
+            pooled_rows.append(vectors.mean(axis=0, keepdims=True))
+        pooled = F.concatenate(pooled_rows, axis=0) if len(pooled_rows) > 1 else pooled_rows[0]
+        return self.tower(pooled)
+
+    def _batch_loss(self, chunk: List[tuple], sampler: NegativeSampler, user_sets: Dict[int, set]) -> nn.Tensor:
+        histories = [list(example[1]) for example in chunk]
+        positives = np.asarray([example[2] for example in chunk], dtype=np.int64)
+        negatives = np.stack(
+            [
+                sampler.sample(user_sets.get(example[0], set()), self.negatives_per_positive)
+                for example in chunk
+            ]
+        )
+        user_vectors = self._forward_user(histories)                        # (B, d)
+        positive_vectors = self.item_table(positives)                       # (B, d)
+        negative_vectors = self.item_table(negatives)                       # (B, K, d)
+
+        positive_logits = (user_vectors * positive_vectors).sum(axis=1)     # (B,)
+        expanded = user_vectors.reshape(len(chunk), 1, self.embedding_dim_config)
+        negative_logits = (expanded * negative_vectors).sum(axis=2)         # (B, K)
+
+        logits = F.concatenate([positive_logits, negative_logits.reshape(-1)], axis=0)
+        targets = np.concatenate([np.ones(len(chunk)), np.zeros(negative_logits.size)])
+        return F.binary_cross_entropy_with_logits(logits, targets)
+
+    # ------------------------------------------------------------------ #
+    # inductive inference
+    # ------------------------------------------------------------------ #
+    def infer_user_embedding(self, history: Sequence[int]) -> np.ndarray:
+        if self.item_table is None or self.tower is None:
+            raise RuntimeError("YouTubeDNN model has not been fitted")
+        history = [item for item in history if 0 <= item < self.num_items]
+        window = recent_window(history, self.history_window)
+        if not window:
+            return np.zeros(self.embedding_dim_config)
+        self.tower.eval()
+        with nn.no_grad():
+            vectors = self.item_table(np.asarray(window, dtype=np.int64))
+            pooled = vectors.mean(axis=0, keepdims=True)
+            output = self.tower(pooled)
+        return output.data[0].copy()
+
+    def item_embeddings(self) -> np.ndarray:
+        if self.item_table is None:
+            raise RuntimeError("YouTubeDNN model has not been fitted")
+        return self.item_table.weight.data
+
+    def score_items(self, user_id: int, history: Optional[Sequence[int]] = None) -> np.ndarray:
+        if history is None:
+            history = self._user_histories.get(user_id, [])
+        return self.ui_scores(self.infer_user_embedding(history))

@@ -1,0 +1,154 @@
+"""Transformer encoder components for the SASRec UI model.
+
+Implements Section III-B of the paper (and Figure 3): scaled dot-product
+attention (eq. 4), multi-head self-attention (eq. 5), the position-wise
+feed-forward network (eq. 6), and the residual / layer-norm / dropout
+wrapping of eq. (7).  SASRec is *causal*: position ``t`` may only attend to
+positions ``≤ t``, which is enforced with an upper-triangular mask, and padded
+positions are masked out entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import Dropout, LayerNorm, Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = [
+    "scaled_dot_product_attention",
+    "MultiHeadSelfAttention",
+    "PositionwiseFeedForward",
+    "TransformerEncoderLayer",
+    "causal_mask",
+]
+
+_NEG_INF = -1e9
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Boolean mask of shape ``(length, length)``; True marks *disallowed* attention."""
+
+    return np.triu(np.ones((length, length), dtype=bool), k=1)
+
+
+def scaled_dot_product_attention(
+    query: Tensor,
+    key: Tensor,
+    value: Tensor,
+    mask: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Attention(Q, K, V) = softmax(QKᵀ / √d) V  (eq. 4).
+
+    ``mask`` is broadcastable to the attention-score shape; True entries are
+    filled with a large negative number before the softmax.
+    """
+
+    d = query.shape[-1]
+    scores = query.matmul(key.swapaxes(-1, -2)) / np.sqrt(float(d))
+    if mask is not None:
+        scores = F.masked_fill(scores, np.broadcast_to(mask, scores.shape), _NEG_INF)
+    weights = F.softmax(scores, axis=-1)
+    return weights.matmul(value)
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head self-attention with separate Q/K/V projections per eq. (5)."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_heads: int = 1,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if hidden_dim % num_heads != 0:
+            raise ValueError(f"hidden_dim ({hidden_dim}) must be divisible by num_heads ({num_heads})")
+        self.hidden_dim = hidden_dim
+        self.num_heads = num_heads
+        self.head_dim = hidden_dim // num_heads
+        self.query_proj = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.key_proj = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.value_proj = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.output_proj = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.attention_dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        # (B, L, D) -> (B, H, L, D/H)
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        # (B, H, L, D/H) -> (B, L, D)
+        return x.transpose(0, 2, 1, 3).reshape(batch, length, self.hidden_dim)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        """Self-attend over ``x`` of shape ``(batch, length, hidden_dim)``."""
+
+        batch, length, _ = x.shape
+        query = self._split_heads(self.query_proj(x), batch, length)
+        key = self._split_heads(self.key_proj(x), batch, length)
+        value = self._split_heads(self.value_proj(x), batch, length)
+        if mask is not None:
+            # Expand (L, L) or (B, L, L) masks with a head axis.
+            mask = np.asarray(mask, dtype=bool)
+            if mask.ndim == 2:
+                mask = mask[None, None, :, :]
+            elif mask.ndim == 3:
+                mask = mask[:, None, :, :]
+        attended = scaled_dot_product_attention(query, key, value, mask=mask)
+        attended = self.attention_dropout(attended)
+        return self.output_proj(self._merge_heads(attended, batch, length))
+
+
+class PositionwiseFeedForward(Module):
+    """Two-layer ReLU feed-forward network applied independently at each position (eq. 6)."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        inner_dim: Optional[int] = None,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        inner_dim = inner_dim or hidden_dim
+        self.first = Linear(hidden_dim, inner_dim, rng=rng)
+        self.second = Linear(inner_dim, hidden_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.second(self.dropout(self.first(x).relu()))
+
+
+class TransformerEncoderLayer(Module):
+    """One SASRec block: attention and FFN sub-layers, each wrapped per eq. (7).
+
+    ``LayerNorm(x + Dropout(sublayer(x)))``
+    """
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_heads: int = 1,
+        inner_dim: Optional[int] = None,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.attention = MultiHeadSelfAttention(hidden_dim, num_heads, dropout=dropout, rng=rng)
+        self.feed_forward = PositionwiseFeedForward(hidden_dim, inner_dim, dropout=dropout, rng=rng)
+        self.attention_norm = LayerNorm(hidden_dim)
+        self.feed_forward_norm = LayerNorm(hidden_dim)
+        self.attention_residual_dropout = Dropout(dropout, rng=rng)
+        self.feed_forward_residual_dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        attended = self.attention(x, mask=mask)
+        x = self.attention_norm(x + self.attention_residual_dropout(attended))
+        transformed = self.feed_forward(x)
+        return self.feed_forward_norm(x + self.feed_forward_residual_dropout(transformed))

@@ -1,0 +1,245 @@
+"""Functional operations built on :class:`repro.nn.tensor.Tensor`.
+
+These are the composite ops the recommendation models need beyond the tensor
+primitives: embedding lookup (the backbone of FISM / SASRec / BPR-MF),
+numerically-stable softmax for self-attention, dropout, concatenation for the
+SCCF integrating network input (eq. 16 of the paper), and masking helpers for
+attention over padded sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, is_grad_enabled
+
+__all__ = [
+    "embedding",
+    "softmax",
+    "log_softmax",
+    "concatenate",
+    "stack",
+    "dropout",
+    "where",
+    "masked_fill",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "clip",
+    "binary_cross_entropy_with_logits",
+    "bpr_loss",
+    "l2_penalty",
+]
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Look up rows of ``weight`` for integer ``indices``.
+
+    ``indices`` may have any shape; the result has shape
+    ``indices.shape + (embedding_dim,)``.  Gradients are scatter-added back to
+    the rows of ``weight``, so repeated indices accumulate correctly.
+    """
+
+    indices = np.asarray(indices, dtype=np.int64)
+    data = weight.data[indices]
+
+    def make_backward(out: Tensor):
+        def _backward() -> None:
+            if weight.requires_grad:
+                grad = np.zeros_like(weight.data)
+                np.add.at(grad, indices.reshape(-1), out.grad.reshape(-1, weight.data.shape[1]))
+                weight._accumulate(grad)
+
+        return _backward
+
+    return Tensor._make(data, (weight,), make_backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax computed via the stable shifted formulation."""
+
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing to each input."""
+
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def make_backward(out: Tensor):
+        def _backward() -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if not tensor.requires_grad:
+                    continue
+                slicer = [slice(None)] * out.grad.ndim
+                slicer[axis] = slice(int(start), int(stop))
+                tensor._accumulate(out.grad[tuple(slicer)])
+
+        return _backward
+
+    return Tensor._make(data, tuple(tensors), make_backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def make_backward(out: Tensor):
+        def _backward() -> None:
+            for i, tensor in enumerate(tensors):
+                if not tensor.requires_grad:
+                    continue
+                tensor._accumulate(np.take(out.grad, i, axis=axis))
+
+        return _backward
+
+    return Tensor._make(data, tuple(tensors), make_backward)
+
+
+def dropout(x: Tensor, rate: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: zero activations with probability ``rate`` and rescale.
+
+    Dropout is the regularizer SASRec relies on (the paper trains SASRec
+    "with dropout mechanism to avoid overfitting"); FISM instead uses early
+    stopping, so ``rate`` of zero is a no-op fast path.
+    """
+
+    if not training or rate <= 0.0:
+        return x
+    if rate >= 1.0:
+        raise ValueError("dropout rate must be in [0, 1)")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= rate).astype(np.float64) / (1.0 - rate)
+    return x * Tensor(mask)
+
+
+def where(condition: np.ndarray, x: Tensor, y: Tensor) -> Tensor:
+    """Element-wise select ``x`` where ``condition`` else ``y``."""
+
+    condition = np.asarray(condition, dtype=bool)
+    x = as_tensor(x)
+    y = as_tensor(y)
+    data = np.where(condition, x.data, y.data)
+
+    def make_backward(out: Tensor):
+        def _backward() -> None:
+            if x.requires_grad:
+                from .tensor import _unbroadcast
+
+                x._accumulate(_unbroadcast(out.grad * condition, x.shape))
+            if y.requires_grad:
+                from .tensor import _unbroadcast
+
+                y._accumulate(_unbroadcast(out.grad * (~condition), y.shape))
+
+        return _backward
+
+    return Tensor._make(data, (x, y), make_backward)
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Replace entries where ``mask`` is True with ``value`` (e.g. -inf before softmax)."""
+
+    return where(np.asarray(mask, dtype=bool), Tensor(np.full(x.shape, value)), x)
+
+
+def relu(x: Tensor) -> Tensor:
+    return as_tensor(x).relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return as_tensor(x).tanh()
+
+
+def clip(x: Tensor, low: float, high: float) -> Tensor:
+    """Differentiable clamp (gradient is zero outside ``[low, high]``)."""
+
+    data = np.clip(x.data, low, high)
+
+    def make_backward(out: Tensor):
+        def _backward() -> None:
+            if x.requires_grad:
+                inside = ((x.data >= low) & (x.data <= high)).astype(np.float64)
+                x._accumulate(out.grad * inside)
+
+        return _backward
+
+    return Tensor._make(data, (x,), make_backward)
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor,
+    targets: np.ndarray,
+    reduction: str = "mean",
+) -> Tensor:
+    """Numerically stable BCE on raw scores.
+
+    This is the learning objective of eq. (9) and eq. (17) in the paper: the
+    observed interactions are positives, sampled unobserved ones negatives,
+    and the score is squashed by a sigmoid.  We use the log-sum-exp form
+    ``max(z, 0) - z * y + log(1 + exp(-|z|))`` to avoid overflow.
+    """
+
+    targets = np.asarray(targets, dtype=np.float64)
+    z = logits.data
+
+    data = np.maximum(z, 0.0) - z * targets + np.log1p(np.exp(-np.abs(z)))
+
+    def make_backward(out: Tensor):
+        def _backward() -> None:
+            if logits.requires_grad:
+                sig = 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+                logits._accumulate(out.grad * (sig - targets))
+
+        return _backward
+
+    losses = Tensor._make(data, (logits,), make_backward)
+    if reduction == "mean":
+        return losses.mean()
+    if reduction == "sum":
+        return losses.sum()
+    if reduction == "none":
+        return losses
+    raise ValueError(f"unknown reduction: {reduction!r}")
+
+
+def bpr_loss(positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
+    """Bayesian Personalized Ranking loss: -log sigmoid(pos - neg), averaged.
+
+    Used by the BPR-MF baseline (Rendle et al., 2009).
+    """
+
+    diff = positive_scores - negative_scores
+    return binary_cross_entropy_with_logits(diff, np.ones(diff.shape))
+
+
+def l2_penalty(parameters: Sequence[Tensor]) -> Tensor:
+    """Sum of squared parameter values, the λ‖Θ‖² term of eqs. (9) and (17)."""
+
+    total: Optional[Tensor] = None
+    for param in parameters:
+        term = (param * param).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(np.zeros(()))
+    return total

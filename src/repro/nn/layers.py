@@ -1,0 +1,210 @@
+"""Standard neural-network layers used by the recommendation models.
+
+These are the building blocks referenced throughout Section III of the paper:
+
+* :class:`Embedding` — the item / position embedding tables of FISM and
+  SASRec (one-hot input projected to a dense vector).
+* :class:`Linear` — dense projections (attention Q/K/V, feed-forward layers,
+  the SCCF integrating MLP).
+* :class:`LayerNorm` and :class:`Dropout` — the residual-block stabilizers of
+  eq. (7).
+* :class:`Sequential` and :class:`MLP` — convenience containers for the
+  integrating component's stack of fully-connected layers (eq. 15-16).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["Linear", "Embedding", "Dropout", "LayerNorm", "Sequential", "ReLU", "Sigmoid", "Tanh", "MLP"]
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear layer dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng), name="weight")
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = Parameter(np.zeros(out_features), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
+
+
+class Embedding(Module):
+    """Dense lookup table mapping integer ids to vectors.
+
+    ``padding_idx`` designates an id whose vector is pinned to zero — SASRec
+    pads truncated sequences with item id 0 so padded positions contribute
+    nothing to attention outputs or gradients.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        padding_idx: Optional[int] = None,
+        std: float = 0.01,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("Embedding dimensions must be positive")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.padding_idx = padding_idx
+        weight = init.truncated_normal((num_embeddings, embedding_dim), std=std, rng=rng)
+        if padding_idx is not None:
+            weight[padding_idx] = 0.0
+        self.weight = Parameter(weight, name="embedding")
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        return F.embedding(self.weight, indices)
+
+    def zero_padding_row(self) -> None:
+        """Re-zero the padding row (call after each optimizer step)."""
+
+        if self.padding_idx is not None:
+            self.weight.data[self.padding_idx] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Embedding(num={self.num_embeddings}, dim={self.embedding_dim})"
+
+
+class Dropout(Module):
+    """Inverted dropout layer; active only in training mode."""
+
+    def __init__(self, rate: float = 0.0, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, training=self.training, rng=self._rng)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension with learnable gain/bias."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-8) -> None:
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.gain = Parameter(np.ones(normalized_shape), name="gain")
+        self.bias = Parameter(np.zeros(normalized_shape), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + self.eps).sqrt()
+        return normalized * self.gain + self.bias
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: List[str] = []
+        for i, module in enumerate(modules):
+            name = f"layer{i}"
+            self.add_module(name, module)
+            self._order.append(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = self._modules[name](x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self):
+        return (self._modules[name] for name in self._order)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable hidden stack.
+
+    The SCCF integrating component is "a multi-layer fully connected neural
+    network" over the concatenated features ``[m_u ⊕ q_i ⊕ r̃^UI ⊕ r̃^UU]``
+    producing a single fused score, which is exactly what this class builds
+    when ``output_dim=1``.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: Sequence[int],
+        output_dim: int = 1,
+        activation: Callable[[], Module] = ReLU,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if input_dim <= 0 or output_dim <= 0:
+            raise ValueError("MLP dimensions must be positive")
+        dims = [input_dim, *hidden_dims, output_dim]
+        layers: List[Module] = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(d_in, d_out, rng=rng))
+            is_last = i == len(dims) - 2
+            if not is_last:
+                layers.append(activation())
+                if dropout > 0.0:
+                    layers.append(Dropout(dropout, rng=rng))
+        self.network = Sequential(*layers)
+        self.input_dim = input_dim
+        self.output_dim = output_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.network(x)

@@ -1,0 +1,182 @@
+"""Optimizers and learning-rate schedules.
+
+The paper optimizes every model "by Adam optimizer with the learning rate of
+0.001, β1 = 0.9, β2 = 0.999, and linear decay of the learning rate" — both of
+those pieces live here, along with plain SGD for comparisons and a step decay
+schedule used in ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "LearningRateSchedule", "LinearDecay", "StepDecay", "ConstantSchedule"]
+
+
+class LearningRateSchedule:
+    """Maps a step counter to a learning-rate multiplier in ``(0, 1]``."""
+
+    def multiplier(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ConstantSchedule(LearningRateSchedule):
+    def multiplier(self, step: int) -> float:
+        return 1.0
+
+
+class LinearDecay(LearningRateSchedule):
+    """Linearly decay from 1.0 to ``final_fraction`` over ``total_steps``."""
+
+    def __init__(self, total_steps: int, final_fraction: float = 0.1) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if not 0.0 <= final_fraction <= 1.0:
+            raise ValueError("final_fraction must be in [0, 1]")
+        self.total_steps = total_steps
+        self.final_fraction = final_fraction
+
+    def multiplier(self, step: int) -> float:
+        progress = min(max(step, 0), self.total_steps) / self.total_steps
+        return 1.0 - (1.0 - self.final_fraction) * progress
+
+
+class StepDecay(LearningRateSchedule):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, step_size: int, gamma: float = 0.5) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def multiplier(self, step: int) -> float:
+        return float(self.gamma ** (step // self.step_size))
+
+
+class Optimizer:
+    """Base optimizer holding the parameter list and a schedule."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float,
+        weight_decay: float = 0.0,
+        schedule: Optional[LearningRateSchedule] = None,
+    ) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.schedule = schedule or ConstantSchedule()
+        self.step_count = 0
+
+    @property
+    def current_lr(self) -> float:
+        return self.lr * self.schedule.multiplier(self.step_count)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _grad(self, param: Parameter) -> Optional[np.ndarray]:
+        """Return the effective gradient including decoupled L2 weight decay."""
+
+        if param.grad is None:
+            return None
+        if self.weight_decay:
+            return param.grad + self.weight_decay * param.data
+        return param.grad
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        schedule: Optional[LearningRateSchedule] = None,
+    ) -> None:
+        super().__init__(parameters, lr, weight_decay, schedule)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        lr = self.current_lr
+        for param in self.parameters:
+            grad = self._grad(param)
+            if grad is None:
+                continue
+            if self.momentum:
+                velocity = self._velocity.get(id(param))
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[id(param)] = velocity
+                update = velocity
+            else:
+                update = grad
+            param.data = param.data - lr * update
+        self.step_count += 1
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction — the paper's optimizer."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        schedule: Optional[LearningRateSchedule] = None,
+    ) -> None:
+        super().__init__(parameters, lr, weight_decay, schedule)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._first_moment: Dict[int, np.ndarray] = {}
+        self._second_moment: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        lr = self.current_lr
+        self.step_count += 1
+        t = self.step_count
+        for param in self.parameters:
+            grad = self._grad(param)
+            if grad is None:
+                continue
+            m = self._first_moment.get(id(param))
+            v = self._second_moment.get(id(param))
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * (grad * grad)
+            self._first_moment[id(param)] = m
+            self._second_moment[id(param)] = v
+            m_hat = m / (1.0 - self.beta1 ** t)
+            v_hat = v / (1.0 - self.beta2 ** t)
+            param.data = param.data - lr * m_hat / (np.sqrt(v_hat) + self.eps)

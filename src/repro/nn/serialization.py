@@ -1,0 +1,73 @@
+"""Checkpointing helpers for trained recommenders.
+
+A production candidate-generation service trains offline and serves online;
+saving / restoring model parameters is the seam between the two.  We persist
+state dicts as compressed ``.npz`` archives plus a small JSON sidecar with
+arbitrary metadata (model hyper-parameters, dataset name, training step).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "save_state_dict", "load_state_dict"]
+
+PathLike = Union[str, Path]
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: PathLike) -> Path:
+    """Write a flat name→array mapping to ``path`` (``.npz``)."""
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **state)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a mapping written by :func:`save_state_dict`."""
+
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def save_checkpoint(
+    module: Module,
+    path: PathLike,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Persist ``module``'s parameters and optional metadata next to them."""
+
+    path = Path(path)
+    saved = save_state_dict(module.state_dict(), path)
+    meta_path = saved.with_suffix(".json")
+    with open(meta_path, "w", encoding="utf-8") as handle:
+        json.dump(metadata or {}, handle, indent=2, sort_keys=True)
+    return saved
+
+
+def load_checkpoint(module: Module, path: PathLike) -> Tuple[Module, Dict[str, Any]]:
+    """Restore parameters into ``module`` and return ``(module, metadata)``."""
+
+    path = Path(path)
+    state = load_state_dict(path)
+    module.load_state_dict(state)
+    candidates = [path.with_suffix(".json")]
+    if path.suffix != ".npz":
+        candidates.append(path.with_suffix(path.suffix + ".json"))
+    metadata: Dict[str, Any] = {}
+    for meta_path in candidates:
+        if meta_path.exists():
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                metadata = json.load(handle)
+            break
+    return module, metadata

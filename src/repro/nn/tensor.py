@@ -1,0 +1,494 @@
+"""A minimal reverse-mode automatic differentiation engine backed by NumPy.
+
+The paper implements its models (FISM, SASRec, the SCCF integrating MLP) in
+TensorFlow.  TensorFlow and PyTorch are not available in this offline
+environment, so this module provides the substrate those models need: a
+``Tensor`` class that records the computation graph and can back-propagate
+gradients through the operations used by the recommenders — dense matmuls,
+embedding lookups, softmax attention, layer normalization, dropout and the
+standard element-wise non-linearities.
+
+The design follows the usual define-by-run pattern:
+
+* every operation produces a new :class:`Tensor` whose ``_backward`` closure
+  knows how to push the output gradient back to its parents;
+* :meth:`Tensor.backward` topologically sorts the graph and runs the closures
+  in reverse order;
+* broadcasting is handled by summing gradients back to the original operand
+  shape (:func:`_unbroadcast`).
+
+Only ``float64``/``float32`` data participate in differentiation.  Integer
+tensors (e.g. index arrays used by :func:`repro.nn.functional.embedding`) are
+carried as plain ``numpy`` arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables gradient tracking.
+
+    Used during evaluation / candidate generation where only the forward pass
+    is needed, mirroring ``torch.no_grad``.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` so that it matches ``shape``.
+
+    NumPy broadcasting may have expanded an operand along leading axes or
+    along axes of size one; the gradient of a broadcast is the sum over the
+    broadcast axes.
+    """
+
+    if grad.shape == shape:
+        return grad
+    # Remove extra leading dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size 1 in the original shape.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value: ArrayLike, dtype=np.float64) -> "Tensor":
+    """Coerce ``value`` into a :class:`Tensor` (no-op if it already is one)."""
+
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=dtype))
+
+
+class Tensor:
+    """A NumPy-backed tensor participating in reverse-mode autodiff."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _prev: Iterable["Tensor"] = (),
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data: np.ndarray = np.asarray(data, dtype=np.float64)
+        self.requires_grad: bool = bool(requires_grad and _GRAD_ENABLED)
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Callable[[], None] = lambda: None
+        self._prev: Tuple[Tensor, ...] = tuple(_prev)
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------ #
+    # graph machinery
+    # ------------------------------------------------------------------ #
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Back-propagate from this tensor through the recorded graph."""
+
+        if not self.requires_grad and not self._prev:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        self.grad = np.asarray(grad, dtype=np.float64)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        for node in reversed(topo):
+            node._backward()
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[["Tensor"], Callable[[], None]],
+    ) -> "Tensor":
+        """Build an op output, wiring the backward closure when needed."""
+
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
+        if requires:
+            out._backward = backward(out)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data + other.data
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(out.grad, other.shape))
+
+            return _backward
+
+        return Tensor._make(data, (self, other), make_backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data * other.data
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+
+            return _backward
+
+        return Tensor._make(data, (self, other), make_backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data / other.data
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
+                if other.requires_grad:
+                    grad = -out.grad * self.data / (other.data ** 2)
+                    other._accumulate(_unbroadcast(grad, other.shape))
+
+            return _backward
+
+        return Tensor._make(data, (self, other), make_backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    grad = out.grad * exponent * (self.data ** (exponent - 1))
+                    self._accumulate(grad)
+
+            return _backward
+
+        return Tensor._make(data, (self,), make_backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Matrix product supporting batched (≥3-d) operands like ``np.matmul``."""
+
+        other = as_tensor(other)
+        data = np.matmul(self.data, other.data)
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    grad = np.matmul(out.grad, np.swapaxes(other.data, -1, -2))
+                    self._accumulate(_unbroadcast(grad, self.shape))
+                if other.requires_grad:
+                    grad = np.matmul(np.swapaxes(self.data, -1, -2), out.grad)
+                    other._accumulate(_unbroadcast(grad, other.shape))
+
+            return _backward
+
+        return Tensor._make(data, (self, other), make_backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if not self.requires_grad:
+                    return
+                grad = out.grad
+                if axis is not None and not keepdims:
+                    grad = np.expand_dims(grad, axis=axis)
+                self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+            return _backward
+
+        return Tensor._make(data, (self,), make_backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if not self.requires_grad:
+                    return
+                grad = out.grad
+                out_data = out.data
+                if axis is not None and not keepdims:
+                    grad = np.expand_dims(grad, axis=axis)
+                    out_data = np.expand_dims(out_data, axis=axis)
+                mask = (self.data == out_data).astype(np.float64)
+                # Split the gradient evenly across ties, as NumPy has no
+                # canonical winner for equal maxima.
+                denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+                self._accumulate(mask * grad / np.maximum(denom, 1.0))
+
+            return _backward
+
+        return Tensor._make(data, (self,), make_backward)
+
+    # ------------------------------------------------------------------ #
+    # shaping
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+        original = self.shape
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad.reshape(original))
+
+            return _backward
+
+        return Tensor._make(data, (self,), make_backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_tuple: Optional[Tuple[int, ...]]
+        if len(axes) == 0:
+            axes_tuple = None
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes_tuple = tuple(axes[0])
+        else:
+            axes_tuple = tuple(axes)
+        data = np.transpose(self.data, axes_tuple)
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if not self.requires_grad:
+                    return
+                if axes_tuple is None:
+                    self._accumulate(np.transpose(out.grad))
+                else:
+                    inverse = np.argsort(axes_tuple)
+                    self._accumulate(np.transpose(out.grad, inverse))
+
+            return _backward
+
+        return Tensor._make(data, (self,), make_backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        data = np.swapaxes(self.data, axis1, axis2)
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(np.swapaxes(out.grad, axis1, axis2))
+
+            return _backward
+
+        return Tensor._make(data, (self,), make_backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    grad = np.zeros_like(self.data)
+                    np.add.at(grad, index, out.grad)
+                    self._accumulate(grad)
+
+            return _backward
+
+        return Tensor._make(data, (self,), make_backward)
+
+    # ------------------------------------------------------------------ #
+    # element-wise non-linearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * out.data)
+
+            return _backward
+
+        return Tensor._make(data, (self,), make_backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad / self.data)
+
+            return _backward
+
+        return Tensor._make(data, (self,), make_backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def relu(self) -> "Tensor":
+        data = np.maximum(self.data, 0.0)
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * (self.data > 0.0))
+
+            return _backward
+
+        return Tensor._make(data, (self,), make_backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * out.data * (1.0 - out.data))
+
+            return _backward
+
+        return Tensor._make(data, (self,), make_backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def make_backward(out: Tensor) -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * (1.0 - out.data ** 2))
+
+            return _backward
+
+        return Tensor._make(data, (self,), make_backward)

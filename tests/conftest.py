@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite.
+
+The expensive pieces — synthetic datasets and trained UI models — are session
+scoped so the several hundred tests stay fast: the tiny dataset takes well
+under a second to generate and the lightly-trained FISM/SASRec models a
+couple of seconds each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SCCF, SCCFConfig
+from repro.data import InteractionLog, RecDataset, load_preset
+from repro.models import FISM, SASRec
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> RecDataset:
+    """The smallest synthetic preset, shared across the suite."""
+
+    return load_preset("tiny")
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> RecDataset:
+    """A slightly larger dataset for integration-level tests."""
+
+    return load_preset("tiny", seed=21, num_users=100, num_items=120, avg_interactions=15.0, name="tiny-big")
+
+
+@pytest.fixture(scope="session")
+def trained_fism(tiny_dataset: RecDataset) -> FISM:
+    model = FISM(embedding_dim=16, num_epochs=3, seed=3)
+    model.fit(tiny_dataset)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_sasrec(tiny_dataset: RecDataset) -> SASRec:
+    model = SASRec(embedding_dim=16, max_length=20, num_epochs=2, seed=3)
+    model.fit(tiny_dataset)
+    return model
+
+
+@pytest.fixture(scope="session")
+def fitted_sccf(tiny_dataset: RecDataset, trained_fism: FISM) -> SCCF:
+    sccf = SCCF(
+        trained_fism,
+        SCCFConfig(num_neighbors=10, candidate_list_size=30, merger_epochs=3, seed=3),
+    )
+    sccf.fit(tiny_dataset, fit_ui_model=False)
+    return sccf
+
+
+@pytest.fixture()
+def simple_log() -> InteractionLog:
+    """A tiny hand-written interaction log with known structure."""
+
+    #        user, item, time
+    events = [
+        (0, 0, 1.0),
+        (0, 1, 2.0),
+        (0, 2, 3.0),
+        (0, 3, 4.0),
+        (1, 1, 1.5),
+        (1, 2, 2.5),
+        (1, 3, 3.5),
+        (1, 4, 4.5),
+        (2, 0, 1.2),
+        (2, 4, 2.2),
+        (2, 5, 3.2),
+        (2, 1, 4.2),
+    ]
+    users = [e[0] for e in events]
+    items = [e[1] for e in events]
+    times = [e[2] for e in events]
+    return InteractionLog(users, items, times)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

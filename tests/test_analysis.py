@@ -1,0 +1,112 @@
+"""Tests for the Figure 1 (interest drift) and Figure 4 (similarity) analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CategoryDriftResult,
+    candidate_similarity_distributions,
+    category_drift_distribution,
+    histogram,
+)
+from repro.data import Interaction, InteractionLog
+
+
+def make_daily_log(events):
+    """events: list of (user, item, day, category)."""
+
+    log = InteractionLog(categories=[])
+    for user, item, day, category in events:
+        log.append(Interaction(user, item, float(day) + 0.5, category))
+    return log
+
+
+class TestCategoryDrift:
+    def test_all_new_categories(self):
+        # The user clicks categories on day 14 never seen before.
+        events = [(0, 0, 3, 1), (0, 1, 14, 2), (0, 2, 14, 3)]
+        result = category_drift_distribution(make_daily_log(events), target_day=14, window_days=14)
+        assert result.new_category_fraction == pytest.approx(1.0)
+
+    def test_previously_seen_category_attributed_to_first_day(self):
+        # Category 5 first clicked 4 days before the target day.
+        events = [(0, 0, 10, 5), (0, 1, 12, 5), (0, 2, 14, 5)]
+        result = category_drift_distribution(make_daily_log(events), target_day=14, window_days=14)
+        assert result.proportions[4] == pytest.approx(1.0)
+        assert result.new_category_fraction == 0.0
+
+    def test_proportions_sum_to_one(self):
+        events = [
+            (0, 0, 14, 1), (0, 1, 14, 2), (0, 2, 10, 2),
+            (1, 3, 14, 3), (1, 4, 5, 3), (1, 5, 14, 4),
+        ]
+        result = category_drift_distribution(make_daily_log(events), target_day=14)
+        assert result.proportions.sum() == pytest.approx(1.0)
+        assert result.num_users == 2
+
+    def test_rows_format(self):
+        events = [(0, 0, 14, 1)]
+        result = category_drift_distribution(make_daily_log(events), target_day=14, window_days=3)
+        rows = result.as_rows()
+        assert len(rows) == 4
+        assert rows[0]["days_before_today"] == 0
+
+    def test_requires_categories(self):
+        log = InteractionLog([0], [0], [14.0])
+        with pytest.raises(ValueError):
+            category_drift_distribution(log)
+
+    def test_requires_events_on_target_day(self):
+        events = [(0, 0, 3, 1)]
+        with pytest.raises(ValueError):
+            category_drift_distribution(make_daily_log(events), target_day=14)
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            category_drift_distribution(InteractionLog(categories=[]))
+
+    def test_default_target_day_is_last(self):
+        events = [(0, 0, 3, 1), (0, 1, 9, 2)]
+        result = category_drift_distribution(make_daily_log(events), window_days=5)
+        assert isinstance(result, CategoryDriftResult)
+
+    def test_simulated_clickstream_has_substantial_new_fraction(self):
+        """The Figure 1 headline: a large share of today's categories are new."""
+
+        from repro.experiments import run_figure1
+
+        result = run_figure1(num_users=80, num_days=15, seed=3)
+        assert 0.2 < result.new_category_fraction < 0.9
+
+
+class TestSimilarityDistribution:
+    def test_distributions_computed(self, fitted_sccf, tiny_dataset):
+        result = candidate_similarity_distributions(fitted_sccf, tiny_dataset, max_users=30)
+        assert len(result.ground_truth) > 0
+        assert len(result.ui_candidates) == len(result.uu_candidates) == len(result.ground_truth)
+        means = result.means()
+        assert set(means) == {"ground_truth", "ui", "uu"}
+        # similarity values are cosines
+        assert np.all(np.abs(result.ui_candidates) <= 1.0 + 1e-9)
+
+    def test_figure4_shape_ui_above_uu(self, fitted_sccf, tiny_dataset):
+        """The paper's qualitative claim: UI candidates are more similar to the
+        user than the user-based candidates."""
+
+        result = candidate_similarity_distributions(fitted_sccf, tiny_dataset)
+        assert result.means()["ui"] > result.means()["uu"]
+
+    def test_histogram_rows(self, fitted_sccf, tiny_dataset):
+        result = candidate_similarity_distributions(fitted_sccf, tiny_dataset, max_users=20)
+        rows = result.as_rows(bins=10)
+        assert len(rows) == 10
+        assert {"similarity", "ground_truth_users", "ui_users", "uu_users"} <= set(rows[0])
+
+    def test_histogram_helper(self):
+        centers, counts = histogram([0.1, 0.2, 0.9], bins=4)
+        assert len(centers) == 4
+        assert counts.sum() == 3
+        centers, counts = histogram([], bins=4)
+        assert len(centers) == 0

@@ -1,0 +1,208 @@
+"""Unit tests for the similarity-search substrate (brute force and IVF)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann import (
+    BruteForceIndex,
+    IVFIndex,
+    NeighborIndex,
+    cosine_similarity,
+    inner_product,
+    kmeans,
+    normalize_rows,
+    pairwise_similarity,
+)
+
+
+class TestMetrics:
+    def test_normalize_rows_unit_norm(self, rng):
+        matrix = rng.normal(size=(10, 5))
+        normalized = normalize_rows(matrix)
+        np.testing.assert_allclose(np.linalg.norm(normalized, axis=1), np.ones(10), rtol=1e-10)
+
+    def test_normalize_zero_row_untouched(self):
+        matrix = np.zeros((2, 3))
+        matrix[1] = [3.0, 0.0, 4.0]
+        normalized = normalize_rows(matrix)
+        np.testing.assert_allclose(normalized[0], np.zeros(3))
+        np.testing.assert_allclose(np.linalg.norm(normalized[1]), 1.0)
+
+    def test_cosine_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v[None, :])[0] == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([[0.0, 1.0]]))[0] == pytest.approx(0.0)
+
+    def test_cosine_scale_invariance(self, rng):
+        query = rng.normal(size=4)
+        matrix = rng.normal(size=(6, 4))
+        np.testing.assert_allclose(
+            cosine_similarity(query, matrix), cosine_similarity(10 * query, 3 * matrix), rtol=1e-10
+        )
+
+    def test_inner_product(self):
+        assert inner_product(np.array([1.0, 2.0]), np.array([[3.0, 4.0]]))[0] == pytest.approx(11.0)
+
+    def test_pairwise_similarity_symmetric(self, rng):
+        matrix = rng.normal(size=(5, 3))
+        sim = pairwise_similarity(matrix)
+        np.testing.assert_allclose(sim, sim.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(sim), np.ones(5), rtol=1e-10)
+
+    def test_pairwise_unknown_metric(self):
+        with pytest.raises(ValueError):
+            pairwise_similarity(np.ones((2, 2)), metric="euclid")
+
+    @given(st.integers(2, 20), st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_cosine_bounded(self, n, d):
+        rng = np.random.default_rng(n * 100 + d)
+        matrix = rng.normal(size=(n, d))
+        sims = cosine_similarity(rng.normal(size=d), matrix)
+        assert np.all(sims <= 1.0 + 1e-9) and np.all(sims >= -1.0 - 1e-9)
+
+
+class TestBruteForceIndex:
+    def test_protocol_conformance(self):
+        assert isinstance(BruteForceIndex(), NeighborIndex)
+        assert isinstance(IVFIndex(), NeighborIndex)
+
+    def test_self_is_top_neighbor(self, rng):
+        vectors = rng.normal(size=(30, 8))
+        index = BruteForceIndex().build(vectors)
+        ids, sims = index.search(vectors[7], k=3)
+        assert ids[0] == 7
+        assert sims[0] == pytest.approx(1.0)
+
+    def test_exclude_self(self, rng):
+        vectors = rng.normal(size=(30, 8))
+        index = BruteForceIndex().build(vectors)
+        ids, _ = index.search(vectors[7], k=5, exclude=np.array([7]))
+        assert 7 not in ids
+
+    def test_results_sorted_descending(self, rng):
+        vectors = rng.normal(size=(50, 6))
+        index = BruteForceIndex().build(vectors)
+        _, sims = index.search(rng.normal(size=6), k=10)
+        assert np.all(np.diff(sims) <= 1e-12)
+
+    def test_matches_naive_computation(self, rng):
+        vectors = rng.normal(size=(40, 5))
+        query = rng.normal(size=5)
+        index = BruteForceIndex().build(vectors)
+        ids, _ = index.search(query, k=5)
+        naive = np.argsort(-cosine_similarity(query, vectors))[:5]
+        np.testing.assert_array_equal(np.sort(ids), np.sort(naive))
+
+    def test_k_larger_than_index(self, rng):
+        vectors = rng.normal(size=(4, 3))
+        index = BruteForceIndex().build(vectors)
+        ids, _ = index.search(rng.normal(size=3), k=10)
+        assert len(ids) == 4
+
+    def test_inner_product_metric(self, rng):
+        vectors = rng.normal(size=(10, 4))
+        index = BruteForceIndex(metric="inner").build(vectors)
+        query = rng.normal(size=4)
+        ids, _ = index.search(query, k=1)
+        assert ids[0] == int(np.argmax(vectors @ query))
+
+    def test_update_vector(self, rng):
+        vectors = rng.normal(size=(10, 4))
+        index = BruteForceIndex().build(vectors)
+        new_vector = rng.normal(size=4)
+        index.update(3, new_vector)
+        ids, _ = index.search(new_vector, k=1)
+        assert ids[0] == 3
+
+    def test_custom_ids(self, rng):
+        vectors = rng.normal(size=(5, 3))
+        index = BruteForceIndex().build(vectors, ids=np.array([10, 20, 30, 40, 50]))
+        ids, _ = index.search(vectors[2], k=1)
+        assert ids[0] == 30
+
+    def test_errors(self, rng):
+        index = BruteForceIndex()
+        with pytest.raises(RuntimeError):
+            index.search(np.ones(3), k=1)
+        with pytest.raises(ValueError):
+            BruteForceIndex(metric="bad")
+        built = BruteForceIndex().build(rng.normal(size=(4, 3)))
+        with pytest.raises(ValueError):
+            built.search(np.ones(3), k=0)
+        with pytest.raises(ValueError):
+            built.update(0, np.ones(7))
+
+
+class TestKMeans:
+    def test_basic_clustering(self, rng):
+        # Two well separated blobs.
+        a = rng.normal(0.0, 0.1, size=(20, 2))
+        b = rng.normal(5.0, 0.1, size=(20, 2)) + np.array([5.0, 0.0])
+        vectors = np.concatenate([a, b])
+        centroids, assignments = kmeans(vectors, 2, rng=rng)
+        assert centroids.shape == (2, 2)
+        # all points of blob a share a cluster, all of blob b the other
+        assert len(set(assignments[:20].tolist())) == 1
+        assert len(set(assignments[20:].tolist())) == 1
+        assert assignments[0] != assignments[-1]
+
+    def test_clusters_capped_by_points(self, rng):
+        vectors = rng.normal(size=(3, 2))
+        centroids, _ = kmeans(vectors, 10, rng=rng)
+        assert len(centroids) == 3
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(np.ones(5), 2)
+        with pytest.raises(ValueError):
+            kmeans(np.ones((5, 2)), 0)
+
+
+class TestIVFIndex:
+    def test_reasonable_recall(self, rng):
+        vectors = rng.normal(size=(400, 16))
+        exact = BruteForceIndex().build(vectors)
+        approx = IVFIndex(num_cells=10, n_probe=5, rng=rng).build(vectors)
+        recalls = []
+        for _ in range(20):
+            query = rng.normal(size=16)
+            true_ids, _ = exact.search(query, k=20)
+            approx_ids, _ = approx.search(query, k=20)
+            recalls.append(len(set(true_ids) & set(approx_ids)) / 20)
+        assert np.mean(recalls) > 0.5
+
+    def test_probe_all_cells_equals_exact(self, rng):
+        vectors = rng.normal(size=(60, 8))
+        exact = BruteForceIndex().build(vectors)
+        approx = IVFIndex(num_cells=4, n_probe=4, rng=rng).build(vectors)
+        query = rng.normal(size=8)
+        true_ids, _ = exact.search(query, k=10)
+        approx_ids, _ = approx.search(query, k=10)
+        np.testing.assert_array_equal(np.sort(true_ids), np.sort(approx_ids))
+
+    def test_exclude(self, rng):
+        vectors = rng.normal(size=(30, 4))
+        index = IVFIndex(num_cells=3, n_probe=3, rng=rng).build(vectors)
+        ids, _ = index.search(vectors[5], k=5, exclude=np.array([5]))
+        assert 5 not in ids
+
+    def test_update_moves_vector_between_cells(self, rng):
+        vectors = rng.normal(size=(50, 4))
+        index = IVFIndex(num_cells=5, n_probe=5, rng=rng).build(vectors)
+        target = -vectors[0] * 10
+        index.update(0, target)
+        ids, _ = index.search(target, k=1)
+        assert ids[0] == 0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            IVFIndex(num_cells=0)
+        with pytest.raises(RuntimeError):
+            IVFIndex().search(np.ones(2), k=1)

@@ -1,0 +1,141 @@
+"""Tests for the SCCF user-based component (eq. 11-12 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann import IVFIndex
+from repro.core import UserNeighborhoodComponent
+
+
+class TestFitting:
+    def test_requires_fit_before_use(self):
+        component = UserNeighborhoodComponent(num_neighbors=5)
+        with pytest.raises(RuntimeError):
+            component.neighbors(np.zeros(4))
+        with pytest.raises(RuntimeError):
+            component.uu_scores(np.zeros(4))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            UserNeighborhoodComponent(num_neighbors=0)
+        with pytest.raises(ValueError):
+            UserNeighborhoodComponent(recency_window=0)
+
+    def test_fit_builds_embeddings_for_every_user(self, tiny_dataset, trained_fism):
+        component = UserNeighborhoodComponent(num_neighbors=5).fit(trained_fism, tiny_dataset)
+        assert component.num_users == tiny_dataset.num_users
+        assert component._user_embeddings.shape == (
+            tiny_dataset.num_users,
+            trained_fism.embedding_dim,
+        )
+
+    def test_fit_with_history_override(self, tiny_dataset, trained_fism):
+        user = tiny_dataset.evaluation_users()[0]
+        override = {user: [0, 1]}
+        component = UserNeighborhoodComponent(num_neighbors=5).fit(
+            trained_fism, tiny_dataset, histories=override
+        )
+        np.testing.assert_allclose(
+            component.user_embedding(user), trained_fism.infer_user_embedding([0, 1])
+        )
+        assert component.recent_items(user) == [0, 1]
+
+
+class TestNeighbors:
+    @pytest.fixture(scope="class")
+    def component(self, tiny_dataset, trained_fism):
+        return UserNeighborhoodComponent(num_neighbors=8).fit(trained_fism, tiny_dataset)
+
+    def test_neighbor_count_and_order(self, component, trained_fism, tiny_dataset):
+        user = tiny_dataset.evaluation_users()[0]
+        embedding = component.user_embedding(user)
+        ids, sims = component.neighbors(embedding, exclude_user=user)
+        assert len(ids) <= 8
+        assert user not in ids
+        assert np.all(np.diff(sims) <= 1e-12)  # descending similarity
+
+    def test_self_included_without_exclusion(self, component, tiny_dataset):
+        user = tiny_dataset.evaluation_users()[0]
+        embedding = component.user_embedding(user)
+        ids, _ = component.neighbors(embedding)
+        assert user in ids  # the user is her own most similar point
+
+    def test_uu_scores_from_neighbor_recent_items(self, component, tiny_dataset):
+        user = tiny_dataset.evaluation_users()[0]
+        embedding = component.user_embedding(user)
+        scores = component.uu_scores(embedding, exclude_user=user)
+        assert scores.shape == (tiny_dataset.num_items,)
+        assert scores.min() >= 0.0
+        # every positively scored item is a recent item of some neighbor
+        neighbor_ids, _ = component.neighbors(embedding, exclude_user=user)
+        eligible = set()
+        for neighbor in neighbor_ids:
+            eligible.update(component.recent_items(int(neighbor)))
+        assert set(np.where(scores > 0)[0].tolist()) <= eligible
+
+    def test_exclude_items_are_zeroed(self, component, tiny_dataset):
+        user = tiny_dataset.evaluation_users()[0]
+        embedding = component.user_embedding(user)
+        raw = component.uu_scores(embedding, exclude_user=user)
+        positive_items = np.where(raw > 0)[0][:2].tolist()
+        if positive_items:
+            masked = component.uu_scores(embedding, exclude_user=user, exclude_items=positive_items)
+            assert np.all(masked[positive_items] == 0.0)
+
+    def test_score_for_user_excludes_history(self, component, tiny_dataset):
+        user = tiny_dataset.evaluation_users()[0]
+        history = tiny_dataset.train.user_sequence(user)
+        scores = component.score_for_user(user, component.user_embedding(user), history=history)
+        assert np.all(scores[history] == 0.0)
+
+    def test_manual_eq12_agreement(self, component, tiny_dataset):
+        """uu_scores matches a direct implementation of eq. (12)."""
+
+        user = tiny_dataset.evaluation_users()[1]
+        embedding = component.user_embedding(user)
+        ids, sims = component.neighbors(embedding, exclude_user=user)
+        expected = np.zeros(tiny_dataset.num_items)
+        for neighbor, similarity in zip(ids, sims):
+            if similarity <= 0:
+                continue
+            for item in component.recent_items(int(neighbor)):
+                expected[item] += similarity
+        np.testing.assert_allclose(component.uu_scores(embedding, exclude_user=user), expected)
+
+
+class TestRealtimeUpdate:
+    def test_update_changes_embedding_and_recent_items(self, tiny_dataset, trained_fism):
+        component = UserNeighborhoodComponent(num_neighbors=5, recency_window=3).fit(
+            trained_fism, tiny_dataset
+        )
+        user = tiny_dataset.evaluation_users()[0]
+        new_history = tiny_dataset.train.user_sequence(user) + [0]
+        embedding = component.update_user(user, trained_fism, new_history)
+        np.testing.assert_allclose(component.user_embedding(user), embedding)
+        assert component.recent_items(user) == new_history[-3:]
+
+    def test_update_reflected_in_search(self, tiny_dataset, trained_fism):
+        component = UserNeighborhoodComponent(num_neighbors=3).fit(trained_fism, tiny_dataset)
+        user = tiny_dataset.evaluation_users()[0]
+        other = tiny_dataset.evaluation_users()[1]
+        # Give `user` the exact history of `other`: they become near-identical neighbors.
+        component.update_user(user, trained_fism, tiny_dataset.train.user_sequence(other))
+        ids, _ = component.neighbors(component.user_embedding(other), exclude_user=other)
+        assert user in ids
+
+    def test_update_out_of_range_user(self, tiny_dataset, trained_fism):
+        component = UserNeighborhoodComponent(num_neighbors=3).fit(trained_fism, tiny_dataset)
+        with pytest.raises(ValueError):
+            component.update_user(10**6, trained_fism, [0, 1])
+
+
+class TestAlternativeIndex:
+    def test_ivf_index_supported(self, tiny_dataset, trained_fism):
+        component = UserNeighborhoodComponent(
+            num_neighbors=5, index=IVFIndex(num_cells=4, n_probe=4)
+        ).fit(trained_fism, tiny_dataset)
+        user = tiny_dataset.evaluation_users()[0]
+        ids, _ = component.neighbors(component.user_embedding(user), exclude_user=user)
+        assert len(ids) > 0

@@ -1,0 +1,113 @@
+"""Tests for the SCCF framework (fitting, modes, candidate lists, scoring)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SCCF, SCCFConfig
+from repro.models import Popularity
+
+
+class TestConstruction:
+    def test_requires_inductive_ui_model(self, tiny_dataset):
+        pop = Popularity().fit(tiny_dataset)
+        with pytest.raises(TypeError):
+            SCCF(pop)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SCCFConfig(num_neighbors=0)
+        with pytest.raises(ValueError):
+            SCCFConfig(candidate_list_size=0)
+        with pytest.raises(ValueError):
+            SCCFConfig(recency_window=0)
+
+    def test_unfitted_raises(self, trained_fism):
+        sccf = SCCF(trained_fism)
+        with pytest.raises(RuntimeError):
+            sccf.score_items(0)
+
+    def test_mode_validation(self, fitted_sccf):
+        with pytest.raises(ValueError):
+            fitted_sccf.set_mode("bogus")
+
+    def test_name_reflects_mode(self, fitted_sccf):
+        assert fitted_sccf.set_mode("ui").name == "FISM"
+        assert fitted_sccf.set_mode("uu").name == "FISMUU"
+        assert fitted_sccf.set_mode("sccf").name == "FISMSCCF"
+
+
+class TestScoring:
+    def test_ui_mode_matches_base_model(self, fitted_sccf, trained_fism, tiny_dataset):
+        user = tiny_dataset.evaluation_users()[0]
+        history = tiny_dataset.train.user_sequence(user)
+        fitted_sccf.set_mode("ui")
+        np.testing.assert_allclose(
+            fitted_sccf.score_items(user, history=history),
+            trained_fism.score_items(user, history=history),
+        )
+
+    def test_uu_mode_matches_neighborhood(self, fitted_sccf, tiny_dataset):
+        user = tiny_dataset.evaluation_users()[0]
+        history = tiny_dataset.train.user_sequence(user)
+        fitted_sccf.set_mode("uu")
+        scores = fitted_sccf.score_items(user, history=history)
+        embedding = fitted_sccf.ui_model.infer_user_embedding(history)
+        expected = fitted_sccf.neighborhood.score_for_user(user, embedding, history=history)
+        np.testing.assert_allclose(scores, expected)
+
+    def test_sccf_mode_scores_only_candidates(self, fitted_sccf, tiny_dataset):
+        user = tiny_dataset.evaluation_users()[0]
+        history = tiny_dataset.train.user_sequence(user)
+        fitted_sccf.set_mode("sccf")
+        scores = fitted_sccf.score_items(user, history=history)
+        finite = np.isfinite(scores) & (scores > -1e11)
+        ui_list, uu_list = fitted_sccf.candidate_lists(user, history=history)
+        candidate_union = set(ui_list.tolist()) | set(uu_list.tolist())
+        assert set(np.where(finite)[0].tolist()) <= candidate_union
+
+    def test_candidate_lists_sorted_and_sized(self, fitted_sccf, tiny_dataset):
+        user = tiny_dataset.evaluation_users()[0]
+        ui_list, uu_list = fitted_sccf.candidate_lists(user)
+        assert len(ui_list) <= fitted_sccf.config.candidate_list_size
+        assert len(uu_list) <= fitted_sccf.config.candidate_list_size
+        # The UI list must not contain items the user has already seen.
+        history = set(tiny_dataset.train.user_sequence(user))
+        assert not set(ui_list.tolist()) & history
+        assert not set(uu_list.tolist()) & history
+
+    def test_recommend_excludes_history(self, fitted_sccf, tiny_dataset):
+        user = tiny_dataset.evaluation_users()[0]
+        history = tiny_dataset.train.user_sequence(user)
+        fitted_sccf.set_mode("sccf")
+        recommendations = fitted_sccf.recommend(user, k=5, exclude=history)
+        assert not set(recommendations) & set(history)
+        assert len(recommendations) <= 5
+
+    def test_scores_deterministic(self, fitted_sccf, tiny_dataset):
+        user = tiny_dataset.evaluation_users()[0]
+        fitted_sccf.set_mode("sccf")
+        first = fitted_sccf.score_items(user)
+        second = fitted_sccf.score_items(user)
+        np.testing.assert_allclose(first, second)
+
+
+class TestFitting:
+    def test_fit_without_refitting_ui_model(self, tiny_dataset, trained_fism):
+        item_table_before = trained_fism.item_embeddings().copy()
+        sccf = SCCF(trained_fism, SCCFConfig(num_neighbors=5, candidate_list_size=20, merger_epochs=2))
+        sccf.fit(tiny_dataset, fit_ui_model=False)
+        np.testing.assert_allclose(trained_fism.item_embeddings(), item_table_before)
+
+    def test_fit_trains_ui_model_when_requested(self, tiny_dataset):
+        from repro.models import FISM
+
+        fism = FISM(embedding_dim=8, num_epochs=1, seed=9)
+        sccf = SCCF(fism, SCCFConfig(num_neighbors=5, candidate_list_size=20, merger_epochs=2))
+        sccf.fit(tiny_dataset, fit_ui_model=True)
+        assert fism.loss_history  # the UI model actually trained
+
+    def test_dimensions_recorded(self, fitted_sccf, tiny_dataset):
+        assert fitted_sccf.num_users == tiny_dataset.num_users
+        assert fitted_sccf.num_items == tiny_dataset.num_items

@@ -1,0 +1,188 @@
+"""Unit tests for interaction containers and dataset statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Interaction, InteractionLog, RecDataset
+from repro.data.datasets import DatasetStatistics
+
+
+class TestInteraction:
+    def test_valid(self):
+        event = Interaction(1, 2, 3.0, category_id=4)
+        assert event.user_id == 1 and event.category_id == 4
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Interaction(-1, 0)
+        with pytest.raises(ValueError):
+            Interaction(0, -1)
+
+
+class TestInteractionLog:
+    def test_length_and_iteration(self, simple_log):
+        assert len(simple_log) == 12
+        events = list(simple_log)
+        assert all(isinstance(e, Interaction) for e in events)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionLog([0, 1], [0])
+        with pytest.raises(ValueError):
+            InteractionLog([0], [0], timestamps=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            InteractionLog([0], [0], categories=[1, 2])
+
+    def test_default_timestamps_are_sequential(self):
+        log = InteractionLog([0, 0, 1], [1, 2, 3])
+        np.testing.assert_allclose(log.timestamps, [0.0, 1.0, 2.0])
+
+    def test_num_users_items(self, simple_log):
+        assert simple_log.num_users == 3
+        assert simple_log.num_items == 6
+
+    def test_user_sequence_chronological(self, simple_log):
+        assert simple_log.user_sequence(0) == [0, 1, 2, 3]
+        assert simple_log.user_sequence(2) == [0, 4, 5, 1]
+
+    def test_user_sequence_unknown_user(self, simple_log):
+        assert simple_log.user_sequence(99) == []
+
+    def test_user_item_set(self, simple_log):
+        assert simple_log.user_item_set(1) == {1, 2, 3, 4}
+
+    def test_append_invalidates_cache(self, simple_log):
+        assert simple_log.user_sequence(0) == [0, 1, 2, 3]
+        simple_log.append(Interaction(0, 5, 10.0))
+        assert simple_log.user_sequence(0) == [0, 1, 2, 3, 5]
+
+    def test_append_category_after_plain_log(self):
+        log = InteractionLog([0], [1], [0.0])
+        log.append(Interaction(0, 2, 1.0, category_id=7))
+        assert log.categories is not None
+        assert log.categories[-1] == 7
+
+    def test_to_matrix_binary(self, simple_log):
+        matrix = simple_log.to_matrix()
+        assert matrix.shape == (3, 6)
+        assert matrix.max() == 1.0
+        assert matrix.sum() == 12
+
+    def test_to_matrix_collapses_duplicates(self):
+        log = InteractionLog([0, 0], [1, 1], [0.0, 1.0])
+        matrix = log.to_matrix(1, 2)
+        assert matrix[0, 1] == 1.0
+
+    def test_to_matrix_custom_shape(self, simple_log):
+        matrix = simple_log.to_matrix(num_users=10, num_items=20)
+        assert matrix.shape == (10, 20)
+
+    def test_empty_log(self):
+        log = InteractionLog()
+        assert len(log) == 0
+        assert log.num_users == 0
+        assert log.to_matrix(3, 4).shape == (3, 4)
+
+    def test_item_popularity(self, simple_log):
+        popularity = simple_log.item_popularity()
+        assert popularity[1] == 3  # item 1 clicked by users 0, 1, 2
+        assert popularity.sum() == 12
+
+    def test_filter_users(self, simple_log):
+        filtered = simple_log.filter_users([0])
+        assert set(filtered.users.tolist()) == {0}
+        assert len(filtered) == 4
+
+    def test_filter_items(self, simple_log):
+        filtered = simple_log.filter_items([0, 1])
+        assert set(filtered.items.tolist()) <= {0, 1}
+
+    def test_copy_is_independent(self, simple_log):
+        clone = simple_log.copy()
+        clone.append(Interaction(0, 5, 99.0))
+        assert len(clone) == len(simple_log) + 1
+
+    def test_from_interactions_roundtrip(self):
+        events = [Interaction(0, 1, 0.0, 5), Interaction(1, 2, 1.0, 6)]
+        log = InteractionLog.from_interactions(events)
+        assert len(log) == 2
+        assert log.categories is not None
+        assert log.categories.tolist() == [5, 6]
+
+    def test_interactions_per_user(self, simple_log):
+        counts = simple_log.interactions_per_user()
+        assert counts == {0: 4, 1: 4, 2: 4}
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 10)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sequences_partition_the_log(self, pairs):
+        users = [p[0] for p in pairs]
+        items = [p[1] for p in pairs]
+        log = InteractionLog(users, items)
+        sequences = log.user_sequences()
+        assert sum(len(seq) for seq in sequences.values()) == len(pairs)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 8)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_nnz_matches_unique_pairs(self, pairs):
+        users = [p[0] for p in pairs]
+        items = [p[1] for p in pairs]
+        log = InteractionLog(users, items)
+        matrix = log.to_matrix()
+        assert matrix.nnz == len(set(pairs))
+
+
+class TestRecDataset:
+    def test_statistics_fields(self, tiny_dataset):
+        stats = tiny_dataset.statistics()
+        assert isinstance(stats, DatasetStatistics)
+        assert stats.num_users == tiny_dataset.num_users
+        assert stats.num_actions >= len(tiny_dataset.train)
+        assert 0 < stats.density < 1
+
+    def test_statistics_row_format(self, tiny_dataset):
+        row = tiny_dataset.statistics().as_row()
+        assert set(row) == {"Dataset", "#users", "#items", "#actions", "avg.length", "density"}
+        assert row["density"].endswith("%")
+
+    def test_out_of_range_ids_rejected(self, simple_log):
+        with pytest.raises(ValueError):
+            RecDataset(name="bad", train=simple_log, num_users=2, num_items=6)
+        with pytest.raises(ValueError):
+            RecDataset(
+                name="bad", train=simple_log, num_users=3, num_items=6, test_items={5: 0}
+            )
+
+    def test_evaluation_users_sorted(self, tiny_dataset):
+        users = tiny_dataset.evaluation_users("test")
+        assert users == sorted(users)
+        assert all(u in tiny_dataset.test_items for u in users)
+
+    def test_full_sequence_with_validation(self, tiny_dataset):
+        user = tiny_dataset.evaluation_users("test")[0]
+        base = tiny_dataset.full_sequence(user)
+        extended = tiny_dataset.full_sequence(user, include_validation=True)
+        assert len(extended) == len(base) + 1
+        assert extended[-1] == tiny_dataset.validation_items[user]
+
+    def test_with_validation_merged(self, tiny_dataset):
+        merged = tiny_dataset.with_validation_merged()
+        assert len(merged.train) == len(tiny_dataset.train) + len(tiny_dataset.validation_items)
+        assert merged.validation_items == {}
+        assert merged.test_items == tiny_dataset.test_items

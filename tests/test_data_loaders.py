@@ -1,0 +1,126 @@
+"""Unit tests for the MovieLens / Amazon file-format loaders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import load_amazon_ratings, load_csv_interactions, load_movielens_genres, load_movielens_ratings
+
+
+@pytest.fixture()
+def movielens_dat(tmp_path):
+    path = tmp_path / "ratings.dat"
+    path.write_text(
+        "1::10::5::978300760\n"
+        "1::20::3::978302109\n"
+        "2::10::4::978301968\n"
+        "2::30::1::978300275\n"
+    )
+    return path
+
+
+@pytest.fixture()
+def movielens_csv(tmp_path):
+    path = tmp_path / "ratings.csv"
+    path.write_text(
+        "userId,movieId,rating,timestamp\n"
+        "1,10,4.0,1000\n"
+        "1,20,2.5,1001\n"
+        "3,10,5.0,1002\n"
+    )
+    return path
+
+
+class TestMovieLensRatings:
+    def test_dat_format(self, movielens_dat):
+        log = load_movielens_ratings(movielens_dat)
+        assert len(log) == 4
+        assert set(log.users.tolist()) == {1, 2}
+        assert set(log.items.tolist()) == {10, 20, 30}
+
+    def test_csv_format_skips_header(self, movielens_csv):
+        log = load_movielens_ratings(movielens_csv)
+        assert len(log) == 3
+
+    def test_min_rating_filter(self, movielens_dat):
+        log = load_movielens_ratings(movielens_dat, min_rating=4.0)
+        assert len(log) == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_movielens_ratings(tmp_path / "nope.dat")
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("1::10::5::100\nnot a line\n2::x::3::100\n")
+        log = load_movielens_ratings(path)
+        assert len(log) == 1
+
+    def test_explicit_mode_unsupported(self, movielens_dat):
+        with pytest.raises(ValueError):
+            load_movielens_ratings(movielens_dat, implicit=False)
+
+
+class TestMovieLensGenres:
+    def test_dat_format(self, tmp_path):
+        path = tmp_path / "movies.dat"
+        path.write_text(
+            "1::Toy Story (1995)::Animation|Children's|Comedy\n"
+            "2::Jumanji (1995)::Adventure|Children's\n"
+            "3::Heat (1995)::Animation\n"
+        )
+        categories = load_movielens_genres(path)
+        assert categories[1] == categories[3]  # both Animation
+        assert categories[1] != categories[2]
+
+    def test_csv_format(self, tmp_path):
+        path = tmp_path / "movies.csv"
+        path.write_text("movieId,title,genres\n5,Movie,Drama|War\n6,Other,Drama\n")
+        categories = load_movielens_genres(path)
+        assert categories[5] == categories[6]
+
+
+class TestAmazonRatings:
+    def test_string_ids_mapped_to_integers(self, tmp_path):
+        path = tmp_path / "ratings_Beauty.csv"
+        path.write_text(
+            "A1YJEY40YUW4SE,7806397051,5.0,1391040000\n"
+            "A60XNB876KYML,7806397051,3.0,1397779200\n"
+            "A1YJEY40YUW4SE,9759091062,4.0,1395014400\n"
+        )
+        log = load_amazon_ratings(path)
+        assert len(log) == 3
+        assert log.num_users == 2
+        assert log.num_items == 2
+
+    def test_header_row_ignored(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text("user,item,rating,timestamp\nu1,i1,5.0,100\n")
+        log = load_amazon_ratings(path)
+        assert len(log) == 1
+
+    def test_min_rating(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text("u1,i1,5.0,100\nu2,i1,1.0,101\n")
+        assert len(load_amazon_ratings(path, min_rating=3.0)) == 1
+
+
+class TestGenericCsv:
+    def test_with_categories(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("user,item,ts,cat\n0,1,10,3\n0,2,11,4\n1,1,12,3\n")
+        log = load_csv_interactions(path, category_column=3)
+        assert len(log) == 3
+        assert log.categories.tolist() == [3, 4, 3]
+
+    def test_without_timestamp_column(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("0,1\n0,2\n", )
+        log = load_csv_interactions(path, timestamp_column=None, has_header=False)
+        assert len(log) == 2
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "log.tsv"
+        path.write_text("0\t5\t1.0\n1\t6\t2.0\n")
+        log = load_csv_interactions(path, delimiter="\t", has_header=False)
+        assert set(log.items.tolist()) == {5, 6}

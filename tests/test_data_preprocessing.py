@@ -1,0 +1,133 @@
+"""Unit tests for k-core filtering, re-indexing and the leave-one-out split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import InteractionLog, build_dataset, k_core_filter, leave_one_out_split, reindex_ids
+
+
+def make_log(pairs, categories=None):
+    users = [p[0] for p in pairs]
+    items = [p[1] for p in pairs]
+    return InteractionLog(users, items, list(range(len(pairs))), categories)
+
+
+class TestKCoreFilter:
+    def test_removes_rare_users_and_items(self):
+        # user 0 has 3 interactions; user 1 has 1; item 9 appears once.
+        log = make_log([(0, 1), (0, 2), (0, 1), (1, 9)])
+        filtered = k_core_filter(log, min_user_interactions=2, min_item_interactions=2)
+        assert set(filtered.users.tolist()) == {0}
+        assert 9 not in filtered.items.tolist()
+
+    def test_fixed_point_reached(self):
+        # Chain where removing one item cascades.
+        log = make_log([(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 0)])
+        filtered = k_core_filter(log, 2, 2)
+        # Every remaining user and item satisfies the constraint.
+        for count in filtered.interactions_per_user().values():
+            assert count >= 2
+        for count in filtered.interactions_per_item().values():
+            assert count >= 2
+
+    def test_empty_result_allowed(self):
+        log = make_log([(0, 0), (1, 1)])
+        filtered = k_core_filter(log, 5, 5)
+        assert len(filtered) == 0
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            k_core_filter(make_log([(0, 0)]), 0, 1)
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 6), st.integers(0, 10)), min_size=1, max_size=60),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_all_counts_satisfy_threshold(self, pairs, k):
+        filtered = k_core_filter(make_log(pairs), k, k)
+        for count in filtered.interactions_per_user().values():
+            assert count >= k
+        for count in filtered.interactions_per_item().values():
+            assert count >= k
+
+
+class TestReindex:
+    def test_contiguous_ids(self):
+        log = make_log([(10, 100), (10, 200), (30, 100)])
+        reindexed, user_map, item_map, _ = reindex_ids(log)
+        assert set(reindexed.users.tolist()) == {0, 1}
+        assert set(reindexed.items.tolist()) == {0, 1}
+        assert user_map == {10: 0, 30: 1}
+        assert item_map == {100: 0, 200: 1}
+
+    def test_category_array_built(self):
+        log = make_log([(1, 5), (1, 7)])
+        _, _, item_map, categories = reindex_ids(log, item_categories={5: 3, 7: 9})
+        assert categories is not None
+        assert categories[item_map[5]] == 3
+        assert categories[item_map[7]] == 9
+
+    def test_preserves_interaction_count(self):
+        log = make_log([(4, 4), (4, 5), (9, 4)])
+        reindexed, _, _, _ = reindex_ids(log)
+        assert len(reindexed) == 3
+
+
+class TestLeaveOneOut:
+    def test_split_structure(self):
+        log = make_log([(0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (1, 6), (1, 7)])
+        train, validation, test = leave_one_out_split(log)
+        assert validation[0] == 3 and test[0] == 4
+        assert validation[1] == 6 and test[1] == 7
+        # user 0 keeps items {1, 2}, user 1 keeps item {5}
+        assert len(train) == 3
+
+    def test_short_sequences_stay_in_training(self):
+        log = make_log([(0, 1), (0, 2), (1, 5)])
+        train, validation, test = leave_one_out_split(log, min_sequence_length=3)
+        assert 1 not in validation and 1 not in test
+        assert 5 in train.items.tolist()
+
+    def test_chronological_order_respected(self):
+        # Timestamps deliberately out of insertion order.
+        log = InteractionLog([0, 0, 0], [7, 8, 9], [3.0, 1.0, 2.0])
+        _, validation, test = leave_one_out_split(log)
+        assert test[0] == 7      # latest timestamp
+        assert validation[0] == 9
+
+    def test_categories_preserved_in_training(self):
+        log = make_log([(0, 1), (0, 2), (0, 3), (0, 4)], categories=[5, 6, 7, 8])
+        train, _, _ = leave_one_out_split(log)
+        assert train.categories is not None
+
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 20)), min_size=3, max_size=80))
+    @settings(max_examples=25, deadline=None)
+    def test_property_no_interactions_lost(self, pairs):
+        log = make_log(pairs)
+        train, validation, test = leave_one_out_split(log)
+        assert len(train) + len(validation) + len(test) == len(pairs)
+
+
+class TestBuildDataset:
+    def test_end_to_end(self):
+        pairs = []
+        for user in range(6):
+            for item in range(user, user + 6):
+                pairs.append((user * 10, item * 3))
+        dataset = build_dataset("unit", make_log(pairs), min_user_interactions=3, min_item_interactions=1)
+        assert dataset.num_users > 0 and dataset.num_items > 0
+        assert dataset.name == "unit"
+        # ids are contiguous
+        assert dataset.train.users.max() < dataset.num_users
+        assert dataset.train.items.max() < dataset.num_items
+        assert len(dataset.test_items) > 0
+
+    def test_skip_k_core(self):
+        pairs = [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        dataset = build_dataset("unit", make_log(pairs), apply_k_core=False)
+        assert dataset.num_users == 2

@@ -1,0 +1,162 @@
+"""Unit tests for negative sampling, batching and sequence utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    PADDING_ID,
+    NegativeSampler,
+    SequenceBatcher,
+    UserGroupedBatcher,
+    batch_sequences,
+    pad_and_truncate,
+    pad_sequence,
+    recent_window,
+    truncate_sequence,
+)
+
+
+class TestSequences:
+    def test_truncate_keeps_most_recent(self):
+        assert truncate_sequence([1, 2, 3, 4, 5], 3) == [3, 4, 5]
+
+    def test_truncate_shorter_noop(self):
+        assert truncate_sequence([1, 2], 5) == [1, 2]
+
+    def test_truncate_invalid(self):
+        with pytest.raises(ValueError):
+            truncate_sequence([1], 0)
+
+    def test_pad_left(self):
+        padded = pad_sequence([7, 8], 4)
+        np.testing.assert_array_equal(padded, [PADDING_ID, PADDING_ID, 7, 8])
+
+    def test_pad_too_long_raises(self):
+        with pytest.raises(ValueError):
+            pad_sequence([1, 2, 3], 2)
+
+    def test_pad_and_truncate(self):
+        out = pad_and_truncate([1, 2, 3, 4, 5], 3)
+        np.testing.assert_array_equal(out, [3, 4, 5])
+        out = pad_and_truncate([1], 3)
+        np.testing.assert_array_equal(out, [0, 0, 1])
+
+    def test_batch_sequences(self):
+        batch = batch_sequences([[1], [2, 3], [4, 5, 6, 7]], max_length=3)
+        assert batch.shape == (3, 3)
+        np.testing.assert_array_equal(batch[2], [5, 6, 7])
+
+    def test_recent_window(self):
+        assert recent_window([1, 2, 3, 4], 2) == [3, 4]
+        assert recent_window([1], 5) == [1]
+        with pytest.raises(ValueError):
+            recent_window([1], 0)
+
+    @given(st.lists(st.integers(1, 100), max_size=30), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_pad_and_truncate_invariants(self, sequence, length):
+        out = pad_and_truncate(sequence, length)
+        assert out.shape == (length,)
+        real = out[out != PADDING_ID]
+        expected = [x for x in sequence[-length:] if x != PADDING_ID]
+        np.testing.assert_array_equal(real, expected)
+
+
+class TestNegativeSampler:
+    def test_never_returns_excluded(self, rng):
+        sampler = NegativeSampler(20, rng)
+        exclude = {0, 1, 2, 3, 4}
+        for _ in range(20):
+            samples = sampler.sample(exclude, 5)
+            assert not set(samples.tolist()) & exclude
+
+    def test_sample_size(self, rng):
+        sampler = NegativeSampler(10, rng)
+        assert sampler.sample(set(), 7).shape == (7,)
+        assert sampler.sample(set(), 0).shape == (0,)
+
+    def test_all_items_excluded_raises(self, rng):
+        sampler = NegativeSampler(3, rng)
+        with pytest.raises(ValueError):
+            sampler.sample({0, 1, 2}, 1)
+
+    def test_nearly_full_exclusion_finds_remaining_item(self, rng):
+        sampler = NegativeSampler(5, rng)
+        samples = sampler.sample({0, 1, 2, 3}, 3)
+        assert set(samples.tolist()) == {4}
+
+    def test_invalid_num_items(self):
+        with pytest.raises(ValueError):
+            NegativeSampler(0)
+
+
+class TestUserGroupedBatcher:
+    def test_batches_cover_users_with_history(self, tiny_dataset, rng):
+        batcher = UserGroupedBatcher(tiny_dataset, negatives_per_positive=2, rng=rng)
+        batches = list(batcher.epoch())
+        users_seen = {batch.user_id for batch in batches}
+        expected = {
+            user for user, seq in tiny_dataset.train.user_sequences().items() if len(seq) >= 2
+        }
+        assert users_seen == expected
+
+    def test_negative_shape_and_validity(self, tiny_dataset, rng):
+        batcher = UserGroupedBatcher(tiny_dataset, negatives_per_positive=3, rng=rng)
+        batch = next(iter(batcher.epoch()))
+        assert batch.negative_items.shape == (len(batch.positive_items), 3)
+        history = set(batch.history.tolist())
+        assert not set(batch.negative_items.reshape(-1).tolist()) & history
+
+    def test_invalid_negatives(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            UserGroupedBatcher(tiny_dataset, negatives_per_positive=0)
+
+
+class TestSequenceBatcher:
+    def test_batch_shapes(self, tiny_dataset, rng):
+        batcher = SequenceBatcher(tiny_dataset, max_length=10, batch_size=8, rng=rng)
+        batch = next(iter(batcher.epoch()))
+        assert batch.input_sequences.shape == batch.positive_targets.shape
+        assert batch.input_sequences.shape[1] == 10
+        assert batch.mask.shape == batch.input_sequences.shape
+
+    def test_targets_are_shifted_inputs(self, tiny_dataset, rng):
+        batcher = SequenceBatcher(tiny_dataset, max_length=10, batch_size=4, rng=rng)
+        batch = next(iter(batcher.epoch()))
+        for row in range(len(batch.user_ids)):
+            inputs = batch.input_sequences[row]
+            positives = batch.positive_targets[row]
+            real = inputs != PADDING_ID
+            if real.sum() >= 2:
+                # the target at position t equals the input at position t+1
+                idx = np.where(real)[0]
+                np.testing.assert_array_equal(positives[idx[:-1]], inputs[idx[1:]])
+
+    def test_mask_marks_real_targets(self, tiny_dataset, rng):
+        batcher = SequenceBatcher(tiny_dataset, max_length=12, batch_size=4, rng=rng)
+        batch = next(iter(batcher.epoch()))
+        np.testing.assert_array_equal(batch.mask, (batch.positive_targets != PADDING_ID).astype(float))
+
+    def test_negatives_offset_and_not_in_history(self, tiny_dataset, rng):
+        batcher = SequenceBatcher(tiny_dataset, max_length=10, batch_size=4, rng=rng)
+        batch = next(iter(batcher.epoch()))
+        histories = tiny_dataset.train.user_sequences()
+        for row, user in enumerate(batch.user_ids):
+            history = set(histories[int(user)])
+            negatives = batch.negative_targets[row][batch.mask[row] > 0]
+            assert all(1 <= n <= tiny_dataset.num_items for n in negatives)
+            assert not {int(n) - 1 for n in negatives} & history
+
+    def test_number_of_batches(self, tiny_dataset, rng):
+        batcher = SequenceBatcher(tiny_dataset, max_length=10, batch_size=7, rng=rng)
+        assert len(list(batcher.epoch())) == len(batcher)
+
+    def test_invalid_params(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            SequenceBatcher(tiny_dataset, max_length=1)
+        with pytest.raises(ValueError):
+            SequenceBatcher(tiny_dataset, batch_size=0)

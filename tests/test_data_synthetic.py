@@ -1,0 +1,132 @@
+"""Unit tests for the synthetic dataset generators (the Table I analogs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import PRESETS, SyntheticConfig, generate_dataset, generate_interaction_log, generate_world, load_preset
+
+
+SMALL = SyntheticConfig(
+    name="unit",
+    num_users=40,
+    num_items=60,
+    num_categories=5,
+    num_communities=3,
+    avg_interactions=10.0,
+    community_items=12,
+    seed=5,
+)
+
+
+class TestConfigValidation:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_users=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_categories=0)
+
+    def test_community_strength_bounds(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(community_strength=1.5)
+
+    def test_avg_below_min_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(avg_interactions=2.0, min_interactions=5)
+
+
+class TestWorld:
+    def test_shapes(self):
+        world = generate_world(SMALL)
+        assert world.item_vectors.shape == (60, SMALL.latent_dim)
+        assert world.item_categories.shape == (60,)
+        assert world.user_base_vectors.shape == (40, SMALL.latent_dim)
+        assert len(world.community_item_sets) == 3
+
+    def test_categories_in_range(self):
+        world = generate_world(SMALL)
+        assert world.item_categories.min() >= 0
+        assert world.item_categories.max() < SMALL.num_categories
+
+    def test_popularity_is_distribution(self):
+        world = generate_world(SMALL)
+        assert world.item_popularity.min() > 0
+        assert world.item_popularity.sum() == pytest.approx(1.0)
+
+    def test_bundles_avoid_most_popular_items(self):
+        world = generate_world(SMALL)
+        top_items = set(np.argsort(-world.item_popularity)[: int(0.15 * SMALL.num_items)].tolist())
+        for bundle in world.community_item_sets:
+            assert not top_items & set(bundle.tolist())
+
+    def test_deterministic_given_seed(self):
+        a = generate_world(SMALL)
+        b = generate_world(SMALL)
+        np.testing.assert_allclose(a.item_vectors, b.item_vectors)
+        np.testing.assert_array_equal(a.user_communities, b.user_communities)
+
+
+class TestLogGeneration:
+    def test_every_user_has_minimum_interactions(self):
+        world = generate_world(SMALL)
+        log = generate_interaction_log(world)
+        counts = log.interactions_per_user()
+        assert len(counts) == SMALL.num_users
+        assert min(counts.values()) >= SMALL.min_interactions
+
+    def test_no_repeated_items_per_user(self):
+        world = generate_world(SMALL)
+        log = generate_interaction_log(world)
+        for user, sequence in log.user_sequences().items():
+            assert len(sequence) == len(set(sequence)), f"user {user} has repeats"
+
+    def test_categories_match_world(self):
+        world = generate_world(SMALL)
+        log = generate_interaction_log(world)
+        categories = log.categories
+        for item, category in zip(log.items, categories):
+            assert category == world.item_categories[item]
+
+    def test_reproducible(self):
+        world = generate_world(SMALL)
+        a = generate_interaction_log(world, np.random.default_rng(3))
+        b = generate_interaction_log(world, np.random.default_rng(3))
+        np.testing.assert_array_equal(a.items, b.items)
+
+
+class TestDatasetGeneration:
+    def test_generate_dataset(self):
+        dataset = generate_dataset(SMALL)
+        assert dataset.name == "unit"
+        assert dataset.num_users > 0
+        assert len(dataset.test_items) > 0
+        assert dataset.item_categories is not None
+        assert len(dataset.item_categories) == dataset.num_items
+
+    def test_target_not_in_training_history(self):
+        dataset = generate_dataset(SMALL)
+        for user, target in dataset.test_items.items():
+            assert target not in dataset.train.user_item_set(user)
+
+    def test_presets_exist(self):
+        assert {"ml-1m-small", "ml-20m-small", "games-small", "beauty-small", "tiny"} <= set(PRESETS)
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            load_preset("not-a-dataset")
+
+    def test_preset_override(self):
+        dataset = load_preset("tiny", seed=99, num_users=30, name="tiny-override")
+        assert dataset.name == "tiny-override"
+        assert dataset.num_users <= 30
+
+    def test_amazon_analogs_sparser_than_movielens(self):
+        # The qualitative Table I profile: MovieLens analogs are denser with
+        # longer sequences than the Amazon analogs.
+        tiny_movielens = load_preset("tiny", name="ml-like", avg_interactions=25.0, seed=3)
+        tiny_amazon = load_preset("tiny", name="amazon-like", avg_interactions=8.0, seed=3)
+        assert (
+            tiny_movielens.statistics().avg_sequence_length
+            > tiny_amazon.statistics().avg_sequence_length
+        )

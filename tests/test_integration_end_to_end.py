@@ -1,0 +1,132 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These mirror the paper's workflow on the tiny preset: preprocess → train a UI
+model → wrap it in SCCF → evaluate under leave-one-out → serve in real time,
+plus the online A/B loop.  They are intentionally cheap (a few seconds) but
+exercise every module boundary together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import __version__
+from repro.core import RealTimeServer, SCCF, SCCFConfig
+from repro.data import load_preset
+from repro.eval import Evaluator
+from repro.models import FISM, Popularity, SASRec, YouTubeDNN
+from repro.simulation import ABTestConfig, ABTestHarness, ClickstreamConfig
+
+
+class TestPublicAPI:
+    def test_version_exposed(self):
+        assert __version__
+
+    def test_top_level_imports(self):
+        import repro
+
+        for name in ("SCCF", "SCCFConfig", "RealTimeServer", "Evaluator", "FISM", "SASRec", "load_preset"):
+            assert hasattr(repro, name)
+
+
+class TestOfflinePipeline:
+    def test_fism_sccf_pipeline(self, tiny_dataset):
+        fism = FISM(embedding_dim=16, num_epochs=3, seed=11)
+        sccf = SCCF(fism, SCCFConfig(num_neighbors=10, candidate_list_size=30, merger_epochs=5, seed=11))
+        sccf.fit(tiny_dataset)
+        evaluator = Evaluator(cutoffs=(10, 20))
+        results = {}
+        for mode in ("ui", "uu", "sccf"):
+            sccf.set_mode(mode)
+            results[mode] = evaluator.evaluate(sccf, tiny_dataset).metrics
+        # All three variants produce valid metrics in [0, 1].
+        for metrics in results.values():
+            for value in metrics.values():
+                assert 0.0 <= value <= 1.0
+        # The fused framework should not collapse: it stays within a sane band
+        # of its own UI component even on this tiny dataset.
+        assert results["sccf"]["HR@20"] >= 0.3 * results["ui"]["HR@20"]
+
+    def test_sasrec_sccf_pipeline(self, tiny_dataset):
+        sasrec = SASRec(embedding_dim=16, max_length=20, num_epochs=2, seed=12)
+        sccf = SCCF(sasrec, SCCFConfig(num_neighbors=10, candidate_list_size=30, merger_epochs=5, seed=12))
+        sccf.fit(tiny_dataset)
+        sccf.set_mode("sccf")
+        result = Evaluator(cutoffs=(20,)).evaluate(sccf, tiny_dataset)
+        assert result.num_users == len(tiny_dataset.test_items)
+
+    def test_every_baseline_runs_on_same_dataset(self, tiny_dataset):
+        evaluator = Evaluator(cutoffs=(20,), max_users=30)
+        from repro.models import BPRMF, ItemKNN, UserKNN
+
+        models = {
+            "Pop": Popularity(),
+            "ItemKNN": ItemKNN(),
+            "UserKNN": UserKNN(num_neighbors=10),
+            "BPR-MF": BPRMF(embedding_dim=8, num_epochs=2, seed=0),
+        }
+        for model in models.values():
+            model.fit(tiny_dataset)
+        results = evaluator.evaluate_many(models, tiny_dataset)
+        assert len(results) == 4
+        assert all(0.0 <= r.metrics["HR@20"] <= 1.0 for r in results)
+
+
+class TestRealTimePipeline:
+    def test_streaming_updates_end_to_end(self, fitted_sccf, tiny_dataset):
+        server = RealTimeServer(fitted_sccf, tiny_dataset)
+        users = tiny_dataset.evaluation_users()[:5]
+        rng = np.random.default_rng(0)
+        for user in users:
+            item = int(rng.integers(0, tiny_dataset.num_items))
+            breakdown = server.observe(user, item)
+            assert breakdown.total_ms < 1000.0  # sanity: sub-second per event
+            recommendations = server.recommend(user, k=10)
+            assert len(recommendations) <= 10
+        average = server.average_latency()
+        assert average is not None and average.total_ms > 0.0
+
+    def test_sccf_faster_than_userknn_recompute(self, fitted_sccf, tiny_dataset):
+        """The Table III claim at unit-test scale: per-event cost of the SCCF
+        path is not dramatically slower than a single UserKNN recompute even
+        on a tiny catalog (on realistic catalogs UserKNN scales linearly in
+        #items while SCCF does not)."""
+
+        import time
+
+        from repro.models import UserKNN
+
+        server = RealTimeServer(fitted_sccf, tiny_dataset)
+        userknn = UserKNN(num_neighbors=10).fit(tiny_dataset)
+        user = tiny_dataset.evaluation_users()[0]
+
+        start = time.perf_counter()
+        userknn.realtime_update_and_recommend(user, 0, k=20)
+        knn_ms = (time.perf_counter() - start) * 1000
+
+        breakdown = server.observe(user, 0)
+        assert breakdown.total_ms < max(10 * knn_ms, 100.0)
+
+
+class TestOnlineSimulation:
+    def test_ab_test_end_to_end(self):
+        harness = ABTestHarness(
+            clickstream_config=ClickstreamConfig(
+                num_users=60, num_items=120, num_categories=8, num_communities=5, num_days=9, seed=7
+            ),
+            ab_config=ABTestConfig(training_days=6, test_days=2, candidate_set_size=20, examined_items=8, seed=7),
+        )
+        dataset, simulator = harness.build_training_dataset()
+        baseline = YouTubeDNN(embedding_dim=16, num_epochs=2, seed=7).fit(dataset)
+        treatment_ui = YouTubeDNN(embedding_dim=16, num_epochs=2, seed=7).fit(dataset)
+        treatment = SCCF(
+            treatment_ui,
+            SCCFConfig(num_neighbors=10, candidate_list_size=25, merger_epochs=3, seed=7),
+        ).fit(dataset, fit_ui_model=False)
+
+        result = harness.run(baseline, treatment, dataset, simulator)
+        assert result.baseline.clicks > 0
+        assert result.treatment.clicks > 0
+        assert np.isfinite(result.click_lift)
+        assert np.isfinite(result.trade_lift)

@@ -1,0 +1,182 @@
+"""Tests for the non-SCCF baselines: Pop, ItemKNN, UserKNN, BPR-MF."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionLog, RecDataset
+from repro.eval import Evaluator
+from repro.models import BPRMF, ItemKNN, Popularity, UserKNN
+from repro.models.base import exclude_seen_items
+
+
+@pytest.fixture()
+def structured_dataset() -> RecDataset:
+    """A tiny dataset with obvious co-occurrence structure.
+
+    Users 0-2 like items 0-3; users 3-5 like items 4-7.  Each user's test item
+    is another item of her own block, so item/user-based CF should easily
+    recover it.
+    """
+
+    users, items = [], []
+    blocks = {0: [0, 1, 2, 3], 1: [4, 5, 6, 7]}
+    test_items = {}
+    for user in range(6):
+        block = blocks[0] if user < 3 else blocks[1]
+        consumed = block[:3] if user % 2 == 0 else block[1:]
+        for item in consumed:
+            users.append(user)
+            items.append(item)
+        test_items[user] = block[3] if user % 2 == 0 else block[0]
+    log = InteractionLog(users, items, list(range(len(users))))
+    return RecDataset(
+        name="structured",
+        train=log,
+        validation_items={},
+        test_items=test_items,
+        num_users=6,
+        num_items=8,
+    )
+
+
+class TestExcludeSeen:
+    def test_masks_only_seen(self):
+        scores = np.arange(5, dtype=float)
+        masked = exclude_seen_items(scores, [1, 3])
+        assert np.isneginf(masked[[1, 3]]).all()
+        np.testing.assert_allclose(masked[[0, 2, 4]], [0.0, 2.0, 4.0])
+
+    def test_original_untouched(self):
+        scores = np.ones(3)
+        exclude_seen_items(scores, [0])
+        np.testing.assert_allclose(scores, np.ones(3))
+
+
+class TestPopularity:
+    def test_scores_follow_counts(self, tiny_dataset):
+        model = Popularity().fit(tiny_dataset)
+        scores = model.score_items(0)
+        counts = tiny_dataset.train.item_popularity(tiny_dataset.num_items)
+        assert scores.argmax() == counts.argmax()
+
+    def test_same_scores_for_all_users(self, tiny_dataset):
+        model = Popularity().fit(tiny_dataset)
+        np.testing.assert_allclose(model.score_items(0), model.score_items(5))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Popularity().score_items(0)
+
+    def test_recommend_excludes_seen(self, tiny_dataset):
+        model = Popularity().fit(tiny_dataset)
+        history = tiny_dataset.train.user_sequence(0)
+        recs = model.recommend(0, k=10, exclude=history)
+        assert not set(recs) & set(history)
+
+    def test_recommend_k_validation(self, tiny_dataset):
+        model = Popularity().fit(tiny_dataset)
+        with pytest.raises(ValueError):
+            model.recommend(0, k=0)
+
+
+class TestItemKNN:
+    def test_similarity_matrix_properties(self, structured_dataset):
+        model = ItemKNN().fit(structured_dataset)
+        sim = model._similarity
+        assert sim.shape == (8, 8)
+        np.testing.assert_allclose(np.diag(sim), np.zeros(8))
+        np.testing.assert_allclose(sim, sim.T, atol=1e-12)
+        assert sim.max() <= 1.0 + 1e-9
+
+    def test_block_structure_recovered(self, structured_dataset):
+        model = ItemKNN().fit(structured_dataset)
+        sim = model._similarity
+        # items inside a block are more similar than across blocks
+        assert sim[0, 1] > sim[0, 5]
+
+    def test_recommends_within_block(self, structured_dataset):
+        model = ItemKNN().fit(structured_dataset)
+        history = structured_dataset.train.user_sequence(0)
+        recs = model.recommend(0, k=2, exclude=history)
+        # the top recommendation must be the remaining item of the user's block
+        assert recs[0] == 3
+
+    def test_top_k_pruning(self, structured_dataset):
+        pruned = ItemKNN(top_k=1).fit(structured_dataset)
+        full = ItemKNN().fit(structured_dataset)
+        assert (pruned._similarity > 0).sum() <= (full._similarity > 0).sum()
+
+    def test_empty_history_scores_zero(self, structured_dataset):
+        model = ItemKNN().fit(structured_dataset)
+        np.testing.assert_allclose(model.score_items(0, history=[]), np.zeros(8))
+
+    def test_beats_popularity_on_structured_data(self, structured_dataset):
+        evaluator = Evaluator(cutoffs=(2,))
+        pop = Popularity().fit(structured_dataset)
+        knn = ItemKNN().fit(structured_dataset)
+        pop_result = evaluator.evaluate(pop, structured_dataset)
+        knn_result = evaluator.evaluate(knn, structured_dataset)
+        assert knn_result.metrics["HR@2"] >= pop_result.metrics["HR@2"]
+
+
+class TestUserKNN:
+    def test_recommends_within_block(self, structured_dataset):
+        model = UserKNN(num_neighbors=3).fit(structured_dataset)
+        history = structured_dataset.train.user_sequence(0)
+        recs = model.recommend(0, k=2, exclude=history)
+        # the top recommendation must be the remaining item of the user's block
+        assert recs[0] == 3
+
+    def test_score_with_explicit_history(self, structured_dataset):
+        model = UserKNN(num_neighbors=3).fit(structured_dataset)
+        scores = model.score_items(0, history=[4, 5])
+        # With a block-1 history, block-1 items should now score highest.
+        assert scores[[6, 7]].max() >= scores[[0, 1, 2, 3]].max()
+
+    def test_realtime_update_appends_history(self, structured_dataset):
+        model = UserKNN(num_neighbors=3).fit(structured_dataset)
+        recs = model.realtime_update_and_recommend(0, 4, k=3)
+        assert isinstance(recs, list) and len(recs) == 3
+        assert 4 in model._user_histories[0]
+
+    def test_realtime_update_invalid_item(self, structured_dataset):
+        model = UserKNN().fit(structured_dataset)
+        with pytest.raises(ValueError):
+            model.realtime_update_and_recommend(0, 99)
+
+    def test_invalid_neighbors(self):
+        with pytest.raises(ValueError):
+            UserKNN(num_neighbors=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            UserKNN().score_items(0)
+
+
+class TestBPRMF:
+    def test_training_reduces_loss(self, tiny_dataset):
+        model = BPRMF(embedding_dim=8, num_epochs=4, seed=0).fit(tiny_dataset)
+        assert len(model.loss_history) == 4
+        assert model.loss_history[-1] < model.loss_history[0]
+
+    def test_score_shape(self, tiny_dataset):
+        model = BPRMF(embedding_dim=8, num_epochs=1, seed=0).fit(tiny_dataset)
+        assert model.score_items(0).shape == (tiny_dataset.num_items,)
+
+    def test_cold_user_fallback(self, tiny_dataset):
+        model = BPRMF(embedding_dim=8, num_epochs=1, seed=0).fit(tiny_dataset)
+        scores = model.score_items(tiny_dataset.num_users + 5)
+        assert scores.shape == (tiny_dataset.num_items,)
+        assert np.all(np.isfinite(scores))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BPRMF(embedding_dim=0)
+        with pytest.raises(ValueError):
+            BPRMF(num_epochs=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BPRMF().score_items(0)

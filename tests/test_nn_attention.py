@@ -1,0 +1,137 @@
+"""Unit tests for the Transformer components used by SASRec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.attention import (
+    MultiHeadSelfAttention,
+    PositionwiseFeedForward,
+    TransformerEncoderLayer,
+    causal_mask,
+    scaled_dot_product_attention,
+)
+
+
+class TestCausalMask:
+    def test_shape_and_diagonal(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert not mask.diagonal().any()  # a position may attend to itself
+
+    def test_upper_triangle_blocked(self):
+        mask = causal_mask(3)
+        assert mask[0, 1] and mask[0, 2] and mask[1, 2]
+        assert not mask[1, 0] and not mask[2, 0]
+
+
+class TestScaledDotProductAttention:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        q = nn.Tensor(rng.normal(size=(2, 5, 8)))
+        out = scaled_dot_product_attention(q, q, q)
+        assert out.shape == (2, 5, 8)
+
+    def test_uniform_attention_when_scores_equal(self):
+        # Identical keys -> uniform weights -> output equals mean of values.
+        q = nn.Tensor(np.ones((1, 3, 4)))
+        k = nn.Tensor(np.ones((1, 3, 4)))
+        v = nn.Tensor(np.arange(12, dtype=float).reshape(1, 3, 4))
+        out = scaled_dot_product_attention(q, k, v)
+        np.testing.assert_allclose(out.data[0, 0], v.data[0].mean(axis=0), rtol=1e-8)
+
+    def test_causal_mask_blocks_future(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=(1, 4, 4))
+        q = nn.Tensor(rng.normal(size=(1, 4, 4)))
+        out_full = scaled_dot_product_attention(q, q, nn.Tensor(values), mask=causal_mask(4))
+        # Changing the last value row must not affect the first position's output.
+        perturbed = values.copy()
+        perturbed[0, 3] += 100.0
+        out_perturbed = scaled_dot_product_attention(q, q, nn.Tensor(perturbed), mask=causal_mask(4))
+        np.testing.assert_allclose(out_full.data[0, 0], out_perturbed.data[0, 0], rtol=1e-8)
+        # ...but it must affect the last position's output.
+        assert not np.allclose(out_full.data[0, 3], out_perturbed.data[0, 3])
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self):
+        attention = MultiHeadSelfAttention(hidden_dim=16, num_heads=4)
+        x = nn.Tensor(np.random.default_rng(0).normal(size=(3, 6, 16)))
+        assert attention(x).shape == (3, 6, 16)
+
+    def test_invalid_head_split_raises(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(hidden_dim=10, num_heads=3)
+
+    def test_gradients_flow(self):
+        attention = MultiHeadSelfAttention(hidden_dim=8, num_heads=2)
+        x = nn.Tensor(np.random.default_rng(0).normal(size=(2, 4, 8)), requires_grad=True)
+        attention(x).sum().backward()
+        assert x.grad.shape == (2, 4, 8)
+        for param in attention.parameters():
+            assert param.grad is not None
+
+    def test_padding_mask_batch_specific(self):
+        attention = MultiHeadSelfAttention(hidden_dim=8, num_heads=1)
+        rng = np.random.default_rng(2)
+        x = nn.Tensor(rng.normal(size=(2, 3, 8)))
+        mask = np.zeros((2, 3, 3), dtype=bool)
+        mask[0, :, 2] = True  # first batch element cannot attend to position 2
+        out = attention(x, mask=mask)
+        assert out.shape == (2, 3, 8)
+        assert np.all(np.isfinite(out.data))
+
+
+class TestPositionwiseFeedForward:
+    def test_shape_preserved(self):
+        ffn = PositionwiseFeedForward(hidden_dim=12)
+        x = nn.Tensor(np.ones((2, 5, 12)))
+        assert ffn(x).shape == (2, 5, 12)
+
+    def test_positions_independent(self):
+        ffn = PositionwiseFeedForward(hidden_dim=6)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 4, 6))
+        out_full = ffn(nn.Tensor(x)).data
+        # Changing one position must not change another position's output.
+        x2 = x.copy()
+        x2[0, 3] += 5.0
+        out_perturbed = ffn(nn.Tensor(x2)).data
+        np.testing.assert_allclose(out_full[0, 0], out_perturbed[0, 0], rtol=1e-10)
+
+
+class TestTransformerEncoderLayer:
+    def test_shape(self):
+        layer = TransformerEncoderLayer(hidden_dim=16, num_heads=2)
+        x = nn.Tensor(np.random.default_rng(0).normal(size=(2, 7, 16)))
+        assert layer(x, mask=causal_mask(7)).shape == (2, 7, 16)
+
+    def test_deterministic_in_eval_mode(self):
+        layer = TransformerEncoderLayer(hidden_dim=8, num_heads=1, dropout=0.5)
+        layer.eval()
+        x = nn.Tensor(np.random.default_rng(0).normal(size=(1, 4, 8)))
+        first = layer(x).data
+        second = layer(x).data
+        np.testing.assert_allclose(first, second)
+
+    def test_dropout_changes_training_output(self):
+        layer = TransformerEncoderLayer(hidden_dim=8, num_heads=1, dropout=0.5,
+                                        rng=np.random.default_rng(0))
+        layer.train()
+        x = nn.Tensor(np.random.default_rng(1).normal(size=(1, 4, 8)))
+        assert not np.allclose(layer(x).data, layer(x).data)
+
+    def test_causality_end_to_end(self):
+        layer = TransformerEncoderLayer(hidden_dim=8, num_heads=1)
+        layer.eval()
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 5, 8))
+        base = layer(nn.Tensor(x), mask=causal_mask(5)).data
+        x_changed = x.copy()
+        x_changed[0, 4] += 10.0  # perturb the last position only
+        changed = layer(nn.Tensor(x_changed), mask=causal_mask(5)).data
+        np.testing.assert_allclose(base[0, :4], changed[0, :4], rtol=1e-8)
+        assert not np.allclose(base[0, 4], changed[0, 4])

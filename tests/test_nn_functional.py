@@ -1,0 +1,198 @@
+"""Unit tests for repro.nn.functional: embedding, softmax, dropout, losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        weight = Tensor(np.arange(12, dtype=float).reshape(4, 3), requires_grad=True)
+        out = F.embedding(weight, np.array([0, 2]))
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.data[1], [6.0, 7.0, 8.0])
+
+    def test_lookup_2d_indices(self):
+        weight = Tensor(np.ones((5, 4)), requires_grad=True)
+        out = F.embedding(weight, np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_gradient_scatter_adds_for_repeated_indices(self):
+        weight = Tensor(np.zeros((4, 2)), requires_grad=True)
+        out = F.embedding(weight, np.array([1, 1, 3]))
+        out.sum().backward()
+        np.testing.assert_allclose(weight.grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(weight.grad[3], [1.0, 1.0])
+        np.testing.assert_allclose(weight.grad[0], [0.0, 0.0])
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 5)))
+        out = F.softmax(x, axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(3), rtol=1e-10)
+
+    def test_stability_with_large_values(self):
+        x = Tensor(np.array([[1000.0, 1001.0, 999.0]]))
+        out = F.softmax(x)
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data.sum(), 1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 4)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), rtol=1e-8
+        )
+
+    def test_softmax_gradient_sums_to_zero(self):
+        x = Tensor(np.array([0.5, 1.0, -0.5]), requires_grad=True)
+        out = F.softmax(x)
+        out[np.array([0])].sum().backward()
+        # d softmax_i / d x sums to zero across inputs
+        assert abs(x.grad.sum()) < 1e-10
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=2, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_invariant_to_shift(self, values):
+        x = np.array(values)
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-8)
+
+
+class TestConcatenateAndStack:
+    def test_concatenate_values(self):
+        a = Tensor(np.ones((2, 2)))
+        b = Tensor(np.zeros((2, 3)))
+        out = F.concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+
+    def test_concatenate_gradient_routing(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = F.concatenate([a, b], axis=1)
+        (out * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, 2 * np.ones((2, 3)))
+
+    def test_concatenate_axis0(self):
+        a = Tensor(np.ones((1, 3)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = F.concatenate([a, b], axis=0)
+        assert out.shape == (3, 3)
+        out.sum().backward()
+        assert a.grad.shape == (1, 3)
+
+    def test_stack(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        out = F.stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+
+
+class TestDropout:
+    def test_disabled_in_eval(self):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, rate=0.5, training=False)
+        assert out is x
+
+    def test_zero_rate_is_noop(self):
+        x = Tensor(np.ones(5))
+        assert F.dropout(x, rate=0.0, training=True) is x
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, rate=0.5, training=True, rng=rng)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), rate=1.0, training=True)
+
+
+class TestMasking:
+    def test_where(self):
+        cond = np.array([True, False, True])
+        out = F.where(cond, Tensor(np.ones(3)), Tensor(np.zeros(3)))
+        np.testing.assert_allclose(out.data, [1.0, 0.0, 1.0])
+
+    def test_where_gradients(self):
+        cond = np.array([True, False])
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        F.where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+    def test_masked_fill(self):
+        x = Tensor(np.zeros((2, 2)))
+        mask = np.array([[True, False], [False, True]])
+        out = F.masked_fill(x, mask, -1e9)
+        assert out.data[0, 0] == -1e9
+        assert out.data[0, 1] == 0.0
+
+    def test_clip_gradient(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        F.clip(x, -1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestLosses:
+    def test_bce_matches_reference(self):
+        logits = Tensor(np.array([0.0, 2.0, -2.0]))
+        targets = np.array([1.0, 1.0, 0.0])
+        loss = F.binary_cross_entropy_with_logits(logits, targets)
+        probabilities = 1 / (1 + np.exp(-logits.data))
+        reference = -np.mean(
+            targets * np.log(probabilities) + (1 - targets) * np.log(1 - probabilities)
+        )
+        assert loss.item() == pytest.approx(reference, rel=1e-8)
+
+    def test_bce_stable_for_extreme_logits(self):
+        logits = Tensor(np.array([1000.0, -1000.0]), requires_grad=True)
+        loss = F.binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.all(np.isfinite(logits.grad))
+
+    def test_bce_gradient_is_sigmoid_minus_target(self):
+        logits = Tensor(np.array([0.3, -0.7]), requires_grad=True)
+        targets = np.array([1.0, 0.0])
+        F.binary_cross_entropy_with_logits(logits, targets, reduction="sum").backward()
+        expected = 1 / (1 + np.exp(-logits.data)) - targets
+        np.testing.assert_allclose(logits.grad, expected, rtol=1e-8)
+
+    def test_bce_reductions(self):
+        logits = Tensor(np.array([0.0, 0.0]))
+        targets = np.array([1.0, 0.0])
+        none = F.binary_cross_entropy_with_logits(logits, targets, reduction="none")
+        assert none.shape == (2,)
+        total = F.binary_cross_entropy_with_logits(logits, targets, reduction="sum")
+        assert total.item() == pytest.approx(none.data.sum())
+
+    def test_bce_unknown_reduction_raises(self):
+        with pytest.raises(ValueError):
+            F.binary_cross_entropy_with_logits(Tensor(np.zeros(2)), np.zeros(2), reduction="bad")
+
+    def test_bpr_loss_decreases_when_positive_beats_negative(self):
+        good = F.bpr_loss(Tensor(np.array([5.0])), Tensor(np.array([0.0])))
+        bad = F.bpr_loss(Tensor(np.array([0.0])), Tensor(np.array([5.0])))
+        assert good.item() < bad.item()
+
+    def test_l2_penalty(self):
+        a = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        b = Tensor(np.array([1.0]), requires_grad=True)
+        penalty = F.l2_penalty([a, b])
+        assert penalty.item() == pytest.approx(26.0)
+
+    def test_l2_penalty_empty(self):
+        assert F.l2_penalty([]).item() == pytest.approx(0.0)

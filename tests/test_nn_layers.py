@@ -1,0 +1,201 @@
+"""Unit tests for repro.nn layers, modules, initializers and checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class TestInitializers:
+    def test_truncated_normal_respects_bound(self, rng):
+        samples = init.truncated_normal((1000,), std=0.01, bound=2.0, rng=rng)
+        assert np.all(np.abs(samples) <= 0.02 + 1e-12)
+
+    def test_truncated_normal_shape(self, rng):
+        assert init.truncated_normal((3, 4), rng=rng).shape == (3, 4)
+
+    def test_xavier_uniform_range(self, rng):
+        samples = init.xavier_uniform((100, 100), rng=rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(samples) <= limit + 1e-12)
+
+    def test_xavier_normal_std(self, rng):
+        samples = init.xavier_normal((200, 200), rng=rng)
+        assert abs(samples.std() - np.sqrt(2.0 / 400)) < 0.005
+
+    def test_zeros_and_ones(self):
+        assert np.all(init.zeros((2, 2)) == 0)
+        assert np.all(init.ones((3,)) == 1)
+
+
+class TestModuleRegistration:
+    def test_parameters_are_discovered(self):
+        layer = nn.Linear(4, 3)
+        names = dict(layer.named_parameters())
+        assert "weight" in names and "bias" in names
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_nested_module_parameters(self):
+        mlp = nn.MLP(4, (8,), 2)
+        names = [name for name, _ in mlp.named_parameters()]
+        assert any("layer0" in name for name in names)
+        assert len(list(mlp.parameters())) == 4  # two Linear layers × (weight, bias)
+
+    def test_train_eval_propagates(self):
+        mlp = nn.MLP(4, (8,), 2, dropout=0.5)
+        mlp.eval()
+        assert all(not module.training for module in mlp.modules())
+        mlp.train()
+        assert all(module.training for module in mlp.modules())
+
+    def test_state_dict_roundtrip(self):
+        a = nn.Linear(3, 2)
+        b = nn.Linear(3, 2)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_strict_mismatch(self):
+        a = nn.Linear(3, 2)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": np.zeros((3, 2))})  # missing bias
+
+    def test_state_dict_shape_mismatch(self):
+        a = nn.Linear(3, 2)
+        state = a.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_zero_grad(self):
+        layer = nn.Linear(2, 1)
+        out = layer(nn.Tensor(np.ones((4, 2))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = nn.Linear(5, 3)
+        out = layer(nn.Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_no_bias(self):
+        layer = nn.Linear(5, 3, bias=False)
+        assert layer.bias is None
+        assert layer.num_parameters() == 15
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_gradient_flows_to_weight(self):
+        layer = nn.Linear(2, 2)
+        out = layer(nn.Tensor(np.ones((3, 2))))
+        out.sum().backward()
+        assert layer.weight.grad.shape == (2, 2)
+        assert layer.bias.grad.shape == (2,)
+
+
+class TestEmbeddingLayer:
+    def test_lookup(self):
+        table = nn.Embedding(10, 4)
+        out = table(np.array([1, 2, 3]))
+        assert out.shape == (3, 4)
+
+    def test_out_of_range_raises(self):
+        table = nn.Embedding(5, 2)
+        with pytest.raises(IndexError):
+            table(np.array([7]))
+
+    def test_padding_row_is_zero(self):
+        table = nn.Embedding(5, 3, padding_idx=0)
+        np.testing.assert_allclose(table.weight.data[0], np.zeros(3))
+
+    def test_zero_padding_row_after_update(self):
+        table = nn.Embedding(5, 3, padding_idx=0)
+        table.weight.data[0] = 1.0
+        table.zero_padding_row()
+        np.testing.assert_allclose(table.weight.data[0], np.zeros(3))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            nn.Embedding(0, 4)
+
+
+class TestLayerNormDropout:
+    def test_layernorm_output_statistics(self):
+        layer = nn.LayerNorm(16)
+        x = nn.Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(8, 16)))
+        out = layer(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(8), atol=1e-6)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(8), atol=1e-3)
+
+    def test_layernorm_gradient(self):
+        layer = nn.LayerNorm(4)
+        x = nn.Tensor(np.random.default_rng(1).normal(size=(2, 4)), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad.shape == (2, 4)
+        assert np.all(np.isfinite(x.grad))
+
+    def test_dropout_eval_passthrough(self):
+        layer = nn.Dropout(0.9)
+        layer.eval()
+        x = nn.Tensor(np.ones(100))
+        np.testing.assert_allclose(layer(x).data, np.ones(100))
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+
+class TestSequentialMLP:
+    def test_sequential_order(self):
+        seq = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        out = seq(nn.Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+        assert len(seq) == 3
+
+    def test_mlp_output_dim(self):
+        mlp = nn.MLP(10, (16, 8), output_dim=1)
+        out = mlp(nn.Tensor(np.zeros((5, 10))))
+        assert out.shape == (5, 1)
+
+    def test_mlp_no_hidden_layers(self):
+        mlp = nn.MLP(4, (), output_dim=2)
+        assert mlp(nn.Tensor(np.ones((1, 4)))).shape == (1, 2)
+
+    def test_mlp_invalid_dims(self):
+        with pytest.raises(ValueError):
+            nn.MLP(0, (4,), 1)
+
+    def test_activation_modules(self):
+        assert nn.ReLU()(nn.Tensor(np.array([-1.0, 1.0]))).data.tolist() == [0.0, 1.0]
+        assert nn.Sigmoid()(nn.Tensor(np.array([0.0]))).data[0] == pytest.approx(0.5)
+        assert nn.Tanh()(nn.Tensor(np.array([0.0]))).data[0] == pytest.approx(0.0)
+
+
+class TestSerialization:
+    def test_checkpoint_roundtrip(self, tmp_path):
+        model = nn.MLP(4, (8,), 2)
+        path = nn.save_checkpoint(model, tmp_path / "model.npz", metadata={"epochs": 3})
+        clone = nn.MLP(4, (8,), 2)
+        clone, metadata = nn.load_checkpoint(clone, path)
+        assert metadata == {"epochs": 3}
+        for (name_a, param_a), (name_b, param_b) in zip(
+            model.named_parameters(), clone.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_allclose(param_a.data, param_b.data)
+
+    def test_state_dict_file_roundtrip(self, tmp_path):
+        state = {"a": np.arange(5.0), "b": np.ones((2, 2))}
+        path = nn.save_state_dict(state, tmp_path / "state.npz")
+        loaded = nn.load_state_dict(path)
+        np.testing.assert_allclose(loaded["a"], state["a"])
+        np.testing.assert_allclose(loaded["b"], state["b"])

@@ -1,0 +1,137 @@
+"""Unit tests for the optimizers and learning-rate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.nn.optim import Adam, ConstantSchedule, LinearDecay, SGD, StepDecay
+
+
+def quadratic_loss(param: Parameter) -> nn.Tensor:
+    """Simple convex objective: ||x - 3||²."""
+
+    diff = param - nn.Tensor(np.full(param.shape, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantSchedule().multiplier(100) == 1.0
+
+    def test_linear_decay_endpoints(self):
+        schedule = LinearDecay(total_steps=10, final_fraction=0.1)
+        assert schedule.multiplier(0) == pytest.approx(1.0)
+        assert schedule.multiplier(10) == pytest.approx(0.1)
+        assert schedule.multiplier(100) == pytest.approx(0.1)  # clamped past the end
+
+    def test_linear_decay_midpoint(self):
+        schedule = LinearDecay(total_steps=10, final_fraction=0.0)
+        assert schedule.multiplier(5) == pytest.approx(0.5)
+
+    def test_linear_decay_validation(self):
+        with pytest.raises(ValueError):
+            LinearDecay(total_steps=0)
+        with pytest.raises(ValueError):
+            LinearDecay(total_steps=5, final_fraction=2.0)
+
+    def test_step_decay(self):
+        schedule = StepDecay(step_size=10, gamma=0.5)
+        assert schedule.multiplier(9) == pytest.approx(1.0)
+        assert schedule.multiplier(10) == pytest.approx(0.5)
+        assert schedule.multiplier(25) == pytest.approx(0.25)
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(100):
+            loss = quadratic_loss(param)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.zeros(2))
+        momentum = Parameter(np.zeros(2))
+        opt_plain = SGD([plain], lr=0.01)
+        opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            for param, optimizer in ((plain, opt_plain), (momentum, opt_momentum)):
+                loss = quadratic_loss(param)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        assert np.abs(momentum.data - 3.0).sum() < np.abs(plain.data - 3.0).sum()
+
+    def test_skips_parameters_without_grad(self):
+        param = Parameter(np.ones(2))
+        optimizer = SGD([param], lr=0.1)
+        optimizer.step()  # no backward yet -> no change
+        np.testing.assert_allclose(param.data, np.ones(2))
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Parameter(np.full(3, 10.0))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        loss = (param * 0.0).sum()  # zero data gradient
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        assert np.all(param.data < 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=-1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.1, momentum=1.5)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(200):
+            loss = quadratic_loss(param)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_bias_correction_first_step_magnitude(self):
+        # With bias correction the very first Adam step has magnitude ~lr.
+        param = Parameter(np.zeros(1))
+        optimizer = Adam([param], lr=0.05)
+        loss = quadratic_loss(param)
+        loss.backward()
+        optimizer.step()
+        assert abs(abs(param.data[0]) - 0.05) < 0.01
+
+    def test_schedule_reduces_effective_lr(self):
+        param = Parameter(np.zeros(1))
+        optimizer = Adam([param], lr=0.1, schedule=LinearDecay(total_steps=10, final_fraction=0.0))
+        assert optimizer.current_lr == pytest.approx(0.1)
+        for _ in range(10):
+            loss = quadratic_loss(param)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert optimizer.current_lr == pytest.approx(0.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], beta1=1.5)
+
+    def test_state_is_per_parameter(self):
+        a = Parameter(np.zeros(2))
+        b = Parameter(np.zeros(3))
+        optimizer = Adam([a, b], lr=0.01)
+        loss = quadratic_loss(a) + quadratic_loss(b)
+        loss.backward()
+        optimizer.step()
+        assert len(optimizer._first_moment) == 2

@@ -1,0 +1,349 @@
+"""Unit tests for the autograd engine (repro.nn.tensor).
+
+Most tests check analytic gradients against finite differences — the one
+property an autodiff engine must not get wrong.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, as_tensor, no_grad
+from repro.nn.tensor import _unbroadcast
+
+
+def numeric_gradient(func, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar-valued function."""
+
+    grad = np.zeros_like(value, dtype=np.float64)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        high = func(value)
+        flat[i] = original - eps
+        low = func(value)
+        flat[i] = original
+        grad_flat[i] = (high - low) / (2 * eps)
+    return grad
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_requires_grad_flag(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        assert t.requires_grad is True
+        assert Tensor(np.ones(3)).requires_grad is False
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_as_tensor_from_scalar(self):
+        assert as_tensor(3.0).item() == pytest.approx(3.0)
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert b.requires_grad is False
+        assert b._prev == ()
+
+    def test_item_on_scalar(self):
+        assert Tensor(np.array(5.0)).item() == pytest.approx(5.0)
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 3)))
+        assert len(t) == 4
+        assert t.size == 12
+
+    def test_backward_requires_scalar_or_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).backward()
+
+    def test_no_grad_context(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            b = a * 2
+        assert b.requires_grad is False
+
+    def test_zero_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a.sum()).backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert _unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_sum_leading_axis(self):
+        g = np.ones((4, 2, 3))
+        out = _unbroadcast(g, (2, 3))
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out, 4 * np.ones((2, 3)))
+
+    def test_sum_size_one_axis(self):
+        g = np.ones((2, 3))
+        out = _unbroadcast(g, (2, 1))
+        assert out.shape == (2, 1)
+        np.testing.assert_allclose(out, 3 * np.ones((2, 1)))
+
+
+class TestArithmeticGradients:
+    def test_add_gradient(self):
+        a = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([4.0, 5.0, 6.0]), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, np.ones(3))
+
+    def test_add_broadcast_gradient(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(b.grad, 2 * np.ones(3))
+
+    def test_mul_gradient(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [3.0, 4.0])
+        np.testing.assert_allclose(b.grad, [1.0, 2.0])
+
+    def test_sub_and_neg(self):
+        a = Tensor(np.array([5.0]), requires_grad=True)
+        b = Tensor(np.array([2.0]), requires_grad=True)
+        (a - b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_rsub(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (5.0 - a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0])
+
+    def test_div_gradient(self):
+        a = Tensor(np.array([6.0]), requires_grad=True)
+        b = Tensor(np.array([2.0]), requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.5])
+
+    def test_rdiv(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (4.0 / a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0])
+
+    def test_pow_gradient(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        (a ** 2).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_pow_non_scalar_exponent_raises(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(TypeError):
+            a ** np.array([1.0, 2.0])
+
+    def test_matmul_gradient_against_finite_differences(self, rng):
+        a_value = rng.normal(size=(3, 4))
+        b_value = rng.normal(size=(4, 2))
+
+        a = Tensor(a_value.copy(), requires_grad=True)
+        b = Tensor(b_value.copy(), requires_grad=True)
+        (a.matmul(b)).sum().backward()
+
+        numeric_a = numeric_gradient(lambda v: float((v @ b_value).sum()), a_value.copy())
+        numeric_b = numeric_gradient(lambda v: float((a_value @ v).sum()), b_value.copy())
+        np.testing.assert_allclose(a.grad, numeric_a, atol=1e-5)
+        np.testing.assert_allclose(b.grad, numeric_b, atol=1e-5)
+
+    def test_batched_matmul_gradient(self, rng):
+        a_value = rng.normal(size=(2, 3, 4))
+        b_value = rng.normal(size=(2, 4, 5))
+        a = Tensor(a_value.copy(), requires_grad=True)
+        b = Tensor(b_value.copy(), requires_grad=True)
+        (a.matmul(b)).sum().backward()
+        numeric_a = numeric_gradient(lambda v: float(np.matmul(v, b_value).sum()), a_value.copy())
+        np.testing.assert_allclose(a.grad, numeric_a, atol=1e-5)
+
+    def test_gradient_accumulates_over_multiple_uses(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        ((a * 3) + (a * 4)).sum().backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+
+class TestReductionsAndShaping:
+    def test_sum_axis_gradient(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        a.sum(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_sum_keepdims(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_gradient(self):
+        a = Tensor(np.ones((4,)), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full(4, 0.25))
+
+    def test_mean_axis_tuple(self):
+        a = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        out = a.mean(axis=(1, 2))
+        assert out.shape == (2,)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3, 4), 1.0 / 12))
+
+    def test_max_gradient_flows_to_maximum(self):
+        a = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_axis_gradient(self):
+        a = Tensor(np.array([[1.0, 2.0], [4.0, 3.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([2.0, 2.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad.sum(), 1.0)
+
+    def test_reshape_gradient(self):
+        a = Tensor(np.arange(6, dtype=float), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(6))
+
+    def test_reshape_accepts_tuple(self):
+        a = Tensor(np.arange(6, dtype=float))
+        assert a.reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_gradient(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        a.transpose().sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_transpose_with_axes(self):
+        a = Tensor(np.zeros((2, 3, 4)), requires_grad=True)
+        out = a.transpose(0, 2, 1)
+        assert out.shape == (2, 4, 3)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_swapaxes(self):
+        a = Tensor(np.zeros((2, 3, 4)), requires_grad=True)
+        out = a.swapaxes(1, 2)
+        assert out.shape == (2, 4, 3)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_getitem_gradient_scatter(self):
+        a = Tensor(np.arange(5, dtype=float), requires_grad=True)
+        a[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 1.0, 0.0, 0.0])
+
+    def test_T_property(self):
+        a = Tensor(np.zeros((2, 5)))
+        assert a.T.shape == (5, 2)
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize(
+        "op,derivative",
+        [
+            ("exp", lambda x: np.exp(x)),
+            ("log", lambda x: 1.0 / x),
+            ("sigmoid", lambda x: (1 / (1 + np.exp(-x))) * (1 - 1 / (1 + np.exp(-x)))),
+            ("tanh", lambda x: 1 - np.tanh(x) ** 2),
+        ],
+    )
+    def test_elementwise_gradients(self, op, derivative):
+        value = np.array([0.5, 1.5, 2.5])
+        a = Tensor(value.copy(), requires_grad=True)
+        getattr(a, op)().sum().backward()
+        np.testing.assert_allclose(a.grad, derivative(value), rtol=1e-6)
+
+    def test_relu_gradient(self):
+        a = Tensor(np.array([-1.0, 0.5, 2.0]), requires_grad=True)
+        a.relu().sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 1.0])
+
+    def test_sqrt(self):
+        a = Tensor(np.array([4.0]), requires_grad=True)
+        a.sqrt().backward()
+        np.testing.assert_allclose(a.grad, [0.25])
+
+    def test_sigmoid_saturation_is_finite(self):
+        a = Tensor(np.array([1000.0, -1000.0]), requires_grad=True)
+        out = a.sigmoid()
+        assert np.all(np.isfinite(out.data))
+        out.sum().backward()
+        assert np.all(np.isfinite(a.grad))
+
+
+class TestGraphTraversal:
+    def test_diamond_graph(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        b = a * 3
+        c = a * 4
+        (b + c).sum().backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_deep_chain(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        x = a
+        for _ in range(50):
+            x = x + 1.0
+        x.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_grad_does_not_flow_to_constants(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        b = Tensor(np.array([2.0]))
+        (a * b).sum().backward()
+        assert b.grad is None
+
+
+class TestGradientProperties:
+    @given(
+        st.lists(st.floats(min_value=-5, max_value=5), min_size=2, max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sum_gradient_is_ones(self, values):
+        a = Tensor(np.array(values), requires_grad=True)
+        a.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(len(values)))
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=5), min_size=2, max_size=8),
+        st.lists(st.floats(min_value=0.1, max_value=5), min_size=2, max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_product_rule(self, xs, ys):
+        size = min(len(xs), len(ys))
+        x = np.array(xs[:size])
+        y = np.array(ys[:size])
+        a = Tensor(x.copy(), requires_grad=True)
+        b = Tensor(y.copy(), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, y, rtol=1e-10)
+        np.testing.assert_allclose(b.grad, x, rtol=1e-10)

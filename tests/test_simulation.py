@@ -1,0 +1,168 @@
+"""Tests for the clickstream simulator and the A/B test harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import Popularity, YouTubeDNN
+from repro.simulation import (
+    ABTestConfig,
+    ABTestHarness,
+    ABTestResult,
+    BucketOutcome,
+    ClickstreamConfig,
+    ClickstreamSimulator,
+    simulate_clickstream,
+)
+
+
+SMALL_STREAM = ClickstreamConfig(
+    num_users=40,
+    num_items=80,
+    num_categories=10,
+    num_communities=4,
+    num_days=6,
+    min_clicks_per_day=1,
+    max_clicks_per_day=3,
+    seed=3,
+)
+
+
+class TestClickstreamConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClickstreamConfig(num_days=0)
+        with pytest.raises(ValueError):
+            ClickstreamConfig(min_clicks_per_day=0)
+        with pytest.raises(ValueError):
+            ClickstreamConfig(min_clicks_per_day=5, max_clicks_per_day=2)
+        with pytest.raises(ValueError):
+            ClickstreamConfig(category_jump_probability=1.5)
+
+
+class TestClickstreamSimulator:
+    def test_simulate_day_produces_bounded_clicks(self):
+        simulator = ClickstreamSimulator(SMALL_STREAM)
+        events = simulator.simulate_day()
+        per_user = {}
+        for event in events:
+            per_user[event.user_id] = per_user.get(event.user_id, 0) + 1
+        assert all(1 <= count <= 3 for count in per_user.values())
+        assert len(per_user) == SMALL_STREAM.num_users
+
+    def test_clock_advances(self):
+        simulator = ClickstreamSimulator(SMALL_STREAM)
+        assert simulator.current_day == 0
+        simulator.simulate_day()
+        assert simulator.current_day == 1
+
+    def test_timestamps_encode_days(self):
+        log = simulate_clickstream(SMALL_STREAM)
+        days = np.floor(log.timestamps).astype(int)
+        assert days.min() == 0
+        assert days.max() == SMALL_STREAM.num_days - 1
+
+    def test_categories_consistent_with_world(self):
+        simulator = ClickstreamSimulator(SMALL_STREAM)
+        log = simulator.simulate()
+        for item, category in zip(log.items, log.categories):
+            assert category == simulator.world.item_categories[item]
+
+    def test_affinity_bonus_for_community_items(self):
+        simulator = ClickstreamSimulator(SMALL_STREAM)
+        user = 0
+        bundle = simulator.world.community_item_sets[int(simulator.world.user_communities[user])]
+        inside = int(bundle[0])
+        outside = next(i for i in range(SMALL_STREAM.num_items) if i not in set(bundle.tolist()))
+        affinities = simulator.affinity(user, [inside, outside])
+        # Holding the latent part aside, the bundle bonus is +1.5; with random
+        # latents the bundle item is usually but not always higher, so test
+        # the bonus directly by comparing to the raw latent scores.
+        raw = simulator.world.item_vectors[[inside, outside]] @ simulator._preferences[user]
+        assert affinities[0] - raw[0] == pytest.approx(simulator.community_affinity_bonus)
+        assert affinities[1] - raw[1] == pytest.approx(0.0)
+
+    def test_reproducible_with_same_seed(self):
+        a = simulate_clickstream(SMALL_STREAM)
+        b = simulate_clickstream(SMALL_STREAM)
+        np.testing.assert_array_equal(a.items, b.items)
+
+
+class TestABTestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ABTestConfig(training_days=0)
+        with pytest.raises(ValueError):
+            ABTestConfig(candidate_set_size=0)
+        with pytest.raises(ValueError):
+            ABTestConfig(trade_probability=2.0)
+
+
+class TestABTestHarness:
+    @pytest.fixture(scope="class")
+    def harness_setup(self):
+        harness = ABTestHarness(
+            clickstream_config=ClickstreamConfig(
+                num_users=50,
+                num_items=100,
+                num_categories=8,
+                num_communities=5,
+                num_days=8,
+                seed=5,
+            ),
+            ab_config=ABTestConfig(
+                training_days=5, test_days=2, candidate_set_size=20, examined_items=8, seed=5
+            ),
+        )
+        dataset, simulator = harness.build_training_dataset()
+        return harness, dataset, simulator
+
+    def test_training_dataset_shape(self, harness_setup):
+        _, dataset, simulator = harness_setup
+        assert dataset.num_users > 0
+        assert dataset.num_items <= simulator.config.num_items
+        assert len(dataset.train) > 0
+
+    def test_run_produces_engagement(self, harness_setup):
+        harness, dataset, simulator = harness_setup
+        baseline = Popularity().fit(dataset)
+        treatment = Popularity().fit(dataset)
+        result = harness.run(baseline, treatment, dataset, simulator)
+        assert isinstance(result, ABTestResult)
+        total_users = result.baseline.num_users + result.treatment.num_users
+        assert total_users == dataset.num_users
+        assert result.baseline.clicks >= 0 and result.treatment.clicks >= 0
+        assert len(result.baseline.daily_clicks) == 2
+
+    def test_identical_models_give_small_lift(self, harness_setup):
+        harness, dataset, simulator = harness_setup
+        baseline = Popularity().fit(dataset)
+        treatment = Popularity().fit(dataset)
+        result = harness.run(baseline, treatment, dataset, simulator)
+        # Same policy in both buckets: lift should be small (bucket noise only).
+        assert abs(result.click_lift) < 0.5
+
+    def test_result_rows_format(self):
+        result = ABTestResult(
+            baseline=BucketOutcome(name="baseline", num_users=10, clicks=100, trades=20),
+            treatment=BucketOutcome(name="sccf", num_users=10, clicks=110, trades=23),
+        )
+        assert result.click_lift == pytest.approx(0.10)
+        assert result.trade_lift == pytest.approx(0.15)
+        rows = result.as_rows()
+        assert rows[0]["Metric"] == "#Clicks"
+        assert rows[1]["Lift Rate"].endswith("%")
+
+    def test_zero_baseline_lift_is_zero(self):
+        result = ABTestResult(
+            baseline=BucketOutcome(name="baseline", num_users=5, clicks=0, trades=0),
+            treatment=BucketOutcome(name="sccf", num_users=5, clicks=10, trades=1),
+        )
+        assert result.click_lift == 0.0
+        assert result.trade_lift == 0.0
+
+    def test_per_user_rates(self):
+        outcome = BucketOutcome(name="b", num_users=4, clicks=8, trades=2)
+        assert outcome.clicks_per_user == pytest.approx(2.0)
+        assert outcome.trades_per_user == pytest.approx(0.5)
