@@ -1,0 +1,209 @@
+"""Single-query vs batched serving throughput (QPS).
+
+The paper's Table III argues the SCCF candidate-generation path is real-time;
+this bench quantifies how much throughput the *batched* execution path adds on
+top of that, on the synthetic benchmark dataset:
+
+1. **Neighbor search** — ``BruteForceIndex.search`` called per query vs one
+   ``search_batch`` matmul over the whole query block.
+2. **UU scoring (eq. 12)** — the seed implementation's per-user Python double
+   loop (reproduced verbatim below as the baseline) vs the CSR
+   gather-and-bincount ``score_for_users`` path.
+3. **Leave-one-out evaluation** — ``Evaluator`` scoring user-at-a-time vs
+   ``batch_size``-chunked through ``score_items_batch``.
+
+Run it directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_throughput_batched.py
+    PYTHONPATH=src python benchmarks/bench_throughput_batched.py --num-users 5000 --batch 512
+
+The acceptance bar for the batched pipeline PR: >= 10x QPS on batched
+brute-force search (batch >= 256) and >= 5x on batched UU scoring.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.ann import BruteForceIndex, IVFIndex, cosine_similarity
+from repro.core import UserNeighborhoodComponent
+from repro.data import load_preset
+from repro.eval import Evaluator
+from repro.models import FISM
+
+
+def _timeit(func, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds (cold-cache noise suppressed)."""
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def seed_uu_scores_loop(
+    component: UserNeighborhoodComponent,
+    user_id: int,
+    embedding: np.ndarray,
+) -> np.ndarray:
+    """The seed repo's eq. (12): Python double loop over neighbors x items."""
+
+    neighbor_ids, similarities = component.neighbors(embedding, exclude_user=user_id)
+    scores = np.zeros(component.num_items, dtype=np.float64)
+    for neighbor, similarity in zip(neighbor_ids, similarities):
+        if similarity <= 0:
+            continue
+        for item in component._recent_items.get(int(neighbor), []):
+            if 0 <= item < component.num_items:
+                scores[item] += float(similarity)
+    exclude = component._recent_items.get(user_id, [])
+    if exclude:
+        scores[np.asarray(exclude, dtype=np.int64)] = 0.0
+    return scores
+
+
+def seed_brute_force_search(vectors: np.ndarray, query: np.ndarray, k: int):
+    """The seed repo's ``BruteForceIndex.search``: re-normalizes all N index
+    rows on *every* query (no cached normalized matrix, float64, no batching)."""
+
+    scores = cosine_similarity(query, vectors)
+    k = min(k, len(scores))
+    top = np.argpartition(-scores, kth=k - 1)[:k]
+    order = top[np.argsort(-scores[top], kind="stable")]
+    return order, scores[order]
+
+
+def bench_neighbor_search(num_vectors: int, dim: int, batch: int, k: int) -> List[Dict]:
+    rng = np.random.default_rng(7)
+    vectors = rng.normal(size=(num_vectors, dim))
+    queries = rng.normal(size=(batch, dim))
+
+    rows = []
+    brute = BruteForceIndex().build(vectors)
+    seed = _timeit(lambda: [seed_brute_force_search(vectors, query, k) for query in queries])
+    single = _timeit(lambda: [brute.search(query, k=k) for query in queries])
+    batched = _timeit(lambda: brute.search_batch(queries, k=k))
+    rows.append(
+        {
+            "path": f"BruteForce neighbor search (N={num_vectors}, d={dim}, k={k})",
+            "seed_qps": batch / seed,
+            "single_qps": batch / single,
+            "batched_qps": batch / batched,
+            "speedup": seed / batched,
+        }
+    )
+
+    ivf = IVFIndex(num_cells=64, n_probe=8, rng=rng).build(vectors)
+    single = _timeit(lambda: [ivf.search(query, k=k) for query in queries])
+    batched = _timeit(lambda: ivf.search_batch(queries, k=k))
+    rows.append(
+        {
+            "path": f"IVF(64,8) neighbor search (N={num_vectors}, d={dim}, k={k})",
+            "seed_qps": batch / seed,
+            "single_qps": batch / single,
+            "batched_qps": batch / batched,
+            "speedup": seed / batched,
+        }
+    )
+    return rows
+
+
+def bench_uu_scoring(component: UserNeighborhoodComponent, users: List[int]) -> Dict:
+    embeddings = component._user_embeddings[np.asarray(users, dtype=np.int64)]
+
+    def run_seed_loop():
+        for position, user in enumerate(users):
+            seed_uu_scores_loop(component, user, embeddings[position])
+
+    seed = _timeit(run_seed_loop)
+
+    def run_single_path():
+        for position, user in enumerate(users):
+            component.score_for_user(user, embeddings[position])
+
+    single = _timeit(run_single_path)
+    batched = _timeit(lambda: component.score_for_users(users))
+    return {
+        "path": f"UU scoring eq.12 ({len(users)} users, beta={component.num_neighbors})",
+        "seed_qps": len(users) / seed,
+        "single_qps": len(users) / single,
+        "batched_qps": len(users) / batched,
+        "speedup": seed / batched,
+    }
+
+
+def bench_evaluation(model: FISM, dataset, batch: int) -> Dict:
+    evaluator = Evaluator(cutoffs=(20, 50))
+    per_user = _timeit(lambda: evaluator.evaluate(model, dataset), repeats=2)
+    batched = _timeit(lambda: evaluator.evaluate(model, dataset, batch_size=batch), repeats=2)
+    users = len(dataset.test_items)
+    return {
+        "path": f"Evaluator leave-one-out ({users} users, batch={batch})",
+        "seed_qps": users / per_user,
+        "single_qps": users / per_user,
+        "batched_qps": users / batched,
+        "speedup": per_user / batched,
+    }
+
+
+def format_rows(rows: List[Dict]) -> str:
+    header = (
+        f"{'path':<56} {'seed QPS':>10} {'single QPS':>12} {'batched QPS':>12} "
+        f"{'batched/seed':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['path']:<56} {row['seed_qps']:>10.0f} {row['single_qps']:>12.0f} "
+            f"{row['batched_qps']:>12.0f} {row['speedup']:>11.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def main() -> List[Dict]:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-users", type=int, default=3000)
+    parser.add_argument("--num-items", type=int, default=1000)
+    parser.add_argument("--dim", type=int, default=64)
+    parser.add_argument("--batch", type=int, default=256, help="query batch size (>= 256 for the acceptance bar)")
+    parser.add_argument("--num-neighbors", type=int, default=100)
+    args = parser.parse_args()
+
+    rows = bench_neighbor_search(args.num_users, args.dim, args.batch, k=args.num_neighbors)
+
+    dataset = load_preset(
+        "tiny",
+        seed=13,
+        num_users=args.num_users,
+        num_items=args.num_items,
+        avg_interactions=20.0,
+        name="bench-throughput",
+    )
+    model = FISM(embedding_dim=args.dim, num_epochs=0, seed=13).fit(dataset)
+    component = UserNeighborhoodComponent(num_neighbors=args.num_neighbors).fit(model, dataset)
+    score_users = list(range(min(args.batch, dataset.num_users)))
+    rows.append(bench_uu_scoring(component, score_users))
+
+    eval_dataset = load_preset(
+        "tiny",
+        seed=13,
+        num_users=min(args.num_users, 500),
+        num_items=args.num_items,
+        avg_interactions=20.0,
+        name="bench-throughput-eval",
+    )
+    eval_model = FISM(embedding_dim=args.dim, num_epochs=0, seed=13).fit(eval_dataset)
+    rows.append(bench_evaluation(eval_model, eval_dataset, batch=256))
+
+    print(format_rows(rows))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,10 @@
 """Similarity-search substrate (the role Faiss plays in the paper's deployment)."""
 
-from typing import Optional, Protocol, Tuple, runtime_checkable
+from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
 
-from .brute_force import BruteForceIndex
+from .brute_force import BruteForceIndex, top_k_rows
 from .ivf import IVFIndex, kmeans
 from .metrics import cosine_similarity, inner_product, normalize_rows, pairwise_similarity
 
@@ -13,6 +13,8 @@ __all__ = [
     "BruteForceIndex",
     "IVFIndex",
     "kmeans",
+    "top_k_rows",
+    "search_batch",
     "cosine_similarity",
     "inner_product",
     "normalize_rows",
@@ -34,3 +36,34 @@ class NeighborIndex(Protocol):
 
     def update(self, position: int, vector: np.ndarray) -> None:
         ...
+
+
+def search_batch(
+    index: NeighborIndex,
+    queries: np.ndarray,
+    k: int,
+    exclude_per_query: Optional[Sequence[Optional[np.ndarray]]] = None,
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Batched search through any :class:`NeighborIndex`.
+
+    Uses the index's native ``search_batch`` (one matmul for the whole batch)
+    when it has one, falling back to a query-at-a-time loop for third-party
+    indexes that only implement the single-query protocol.
+    """
+
+    native = getattr(index, "search_batch", None)
+    if native is not None:
+        return native(queries, k, exclude_per_query=exclude_per_query)
+    queries = np.asarray(queries)
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    if exclude_per_query is not None and len(exclude_per_query) != len(queries):
+        raise ValueError("exclude_per_query must have one entry per query")
+    return [
+        index.search(
+            queries[row],
+            k,
+            exclude=None if exclude_per_query is None else exclude_per_query[row],
+        )
+        for row in range(len(queries))
+    ]

@@ -127,16 +127,24 @@ class SCCF(Recommender):
         validation item, predicted from the training-only history.
         """
 
-        examples: List[Tuple[CandidateFeatures, int]] = []
-        item_embeddings = self.ui_model.item_embeddings()
+        users: List[int] = []
+        targets: List[int] = []
+        histories: List[List[int]] = []
         for user, target in dataset.validation_items.items():
             history = self._user_histories.get(user, [])
             if not history:
                 continue
-            features = self._candidate_features(user, history, item_embeddings)
-            if features is None:
-                continue
-            examples.append((features, target))
+            users.append(user)
+            targets.append(target)
+            histories.append(list(history))
+        features_batch = self._candidate_features_batch(
+            users, histories, item_embeddings=self.ui_model.item_embeddings()
+        )
+        examples: List[Tuple[CandidateFeatures, int]] = [
+            (features, target)
+            for features, target in zip(features_batch, targets)
+            if features is not None
+        ]
         self.merger.fit(examples)
 
     # ------------------------------------------------------------------ #
@@ -148,23 +156,52 @@ class SCCF(Recommender):
         history: Sequence[int],
         item_embeddings: Optional[np.ndarray] = None,
     ) -> Optional[CandidateFeatures]:
+        features = self._candidate_features_batch(
+            [user_id], [list(history)], item_embeddings=item_embeddings
+        )
+        return features[0]
+
+    def _candidate_features_batch(
+        self,
+        user_ids: Sequence[int],
+        histories: Sequence[Sequence[int]],
+        item_embeddings: Optional[np.ndarray] = None,
+        user_embeddings: Optional[np.ndarray] = None,
+    ) -> List[Optional[CandidateFeatures]]:
+        """Candidate construction for a batch of users.
+
+        UI scores come from one ``(B×d)·(d×num_items)`` matmul and UU scores
+        from one batched neighborhood query; only the per-user candidate merge
+        and feature assembly stay row-wise.  Entries are ``None`` for users
+        whose merged candidate set is empty.
+        """
+
         if item_embeddings is None:
             item_embeddings = self.ui_model.item_embeddings()
-        user_embedding = self.ui_model.infer_user_embedding(history)
-        ui_scores = self.ui_model.ui_scores(user_embedding)
-        uu_scores = self.neighborhood.score_for_user(user_id, user_embedding, history=history)
-
-        candidates = self._merge_candidates(ui_scores, uu_scores, history)
-        if len(candidates) == 0:
-            return None
-        return self.merger.build_features(
-            user_id=user_id,
-            user_embedding=user_embedding,
-            item_embeddings=item_embeddings,
-            candidate_items=candidates,
-            ui_scores=ui_scores,
-            uu_scores=uu_scores,
+        if user_embeddings is None:
+            user_embeddings = self.ui_model.infer_user_embeddings_batch(histories)
+        ui_matrix = user_embeddings @ item_embeddings.T
+        uu_matrix = self.neighborhood.score_for_users(
+            user_ids, user_embeddings=user_embeddings, histories=histories
         )
+
+        features: List[Optional[CandidateFeatures]] = []
+        for row, user in enumerate(user_ids):
+            candidates = self._merge_candidates(ui_matrix[row], uu_matrix[row], histories[row])
+            if len(candidates) == 0:
+                features.append(None)
+                continue
+            features.append(
+                self.merger.build_features(
+                    user_id=user,
+                    user_embedding=user_embeddings[row],
+                    item_embeddings=item_embeddings,
+                    candidate_items=candidates,
+                    ui_scores=ui_matrix[row],
+                    uu_scores=uu_matrix[row],
+                )
+            )
+        return features
 
     def _merge_candidates(
         self,
@@ -172,15 +209,20 @@ class SCCF(Recommender):
         uu_scores: np.ndarray,
         history: Sequence[int],
     ) -> np.ndarray:
-        """C^u_I = C^u_UI ∪ C^u_UU (eq. 14), excluding already-seen items."""
+        """C^u_I = C^u_UI ∪ C^u_UU (eq. 14), excluding already-seen items.
+
+        The union is an unsorted dedup through a boolean membership table —
+        O(N + k) and no sort, unlike ``np.union1d`` — keeping UI candidates
+        first, then the UU candidates not already present.
+        """
 
         size = min(self.config.candidate_list_size, self.num_items)
         ui_masked = exclude_seen_items(ui_scores, history)
         uu_masked = exclude_seen_items(uu_scores, history)
         ui_top = self._top_k(ui_masked, size)
         uu_top = self._top_k(uu_masked, size, positive_only=True)
-        merged = np.union1d(ui_top, uu_top)
-        return merged.astype(np.int64)
+        fresh = np.isin(uu_top, ui_top, assume_unique=True, invert=True)
+        return np.concatenate([ui_top, uu_top[fresh]]).astype(np.int64)
 
     @staticmethod
     def _top_k(scores: np.ndarray, k: int, positive_only: bool = False) -> np.ndarray:
@@ -205,23 +247,44 @@ class SCCF(Recommender):
         return self
 
     def score_items(self, user_id: int, history: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Single-user scoring — the batch path with a batch of one."""
+
+        return self.score_items_batch([user_id], histories=[history])[0]
+
+    def score_items_batch(
+        self,
+        user_ids: Sequence[int],
+        histories: Optional[Sequence[Optional[Sequence[int]]]] = None,
+    ) -> np.ndarray:
+        """Score the catalog for many users at once; returns ``(B, num_items)``.
+
+        All three Table II modes are batched: ``"ui"`` is one scoring matmul,
+        ``"uu"`` one batched neighborhood query, and ``"sccf"`` runs batched
+        candidate construction with only the per-user merger forward left
+        row-wise.
+        """
+
         self._require_fitted()
-        if history is None:
-            history = self._user_histories.get(user_id, [])
-        user_embedding = self.ui_model.infer_user_embedding(history)
-
+        resolved = self._resolve_batch_histories(user_ids, histories)
+        user_embeddings = self.ui_model.infer_user_embeddings_batch(resolved)
         if self.mode == "ui":
-            return self.ui_model.ui_scores(user_embedding)
+            return user_embeddings @ self.ui_model.item_embeddings().T
         if self.mode == "uu":
-            return self.neighborhood.score_for_user(user_id, user_embedding, history=history)
+            return self.neighborhood.score_for_users(
+                user_ids, user_embeddings=user_embeddings, histories=resolved
+            )
 
-        item_embeddings = self.ui_model.item_embeddings()
-        features = self._candidate_features(user_id, history, item_embeddings)
-        scores = np.full(self.num_items, _NEG_INF, dtype=np.float64)
-        if features is None:
-            return scores
-        fused = self.merger.predict(features)
-        scores[features.candidate_items] = fused
+        features_batch = self._candidate_features_batch(
+            user_ids,
+            resolved,
+            item_embeddings=self.ui_model.item_embeddings(),
+            user_embeddings=user_embeddings,
+        )
+        scores = np.full((len(user_ids), self.num_items), _NEG_INF, dtype=np.float64)
+        for row, features in enumerate(features_batch):
+            if features is None:
+                continue
+            scores[row, features.candidate_items] = self.merger.predict(features)
         return scores
 
     def candidate_lists(

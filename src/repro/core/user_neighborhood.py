@@ -15,6 +15,14 @@ full profile; the window is configurable.
 
 No parameters are learned here — the component is a pure function of the UI
 model's embeddings, which is what makes it a drop-in, real-time plugin.
+
+Implementation: the recent-items table is kept both as per-user lists (the
+mutable source of truth for real-time updates) and as a CSR-style pair of
+``(indptr, indices)`` arrays over users.  Eq. 12 then reduces to one gather
+plus one ``bincount`` — a sparse-matrix/dense-vector product — instead of a
+Python double loop over neighbors × recent items, and
+:meth:`score_for_users` amortizes neighborhood identification across a whole
+batch of users through the index's ``search_batch``.
 """
 
 from __future__ import annotations
@@ -23,12 +31,23 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ann import BruteForceIndex, NeighborIndex
+from ..ann import BruteForceIndex, NeighborIndex, search_batch
 from ..data.datasets import RecDataset
 from ..data.sequences import recent_window
 from ..models.base import InductiveUIModel
 
 __all__ = ["UserNeighborhoodComponent"]
+
+
+def _gather_slices(values: np.ndarray, starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``values[starts[j]:starts[j]+counts[j]]`` without a Python loop."""
+
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=values.dtype)
+    block_ends = np.cumsum(counts)
+    offsets = np.arange(total) - np.repeat(block_ends - counts, counts)
+    return values[np.repeat(starts, counts) + offsets]
 
 
 class UserNeighborhoodComponent:
@@ -65,6 +84,13 @@ class UserNeighborhoodComponent:
         self.num_items: int = 0
         self._user_embeddings: Optional[np.ndarray] = None
         self._recent_items: Dict[int, List[int]] = {}
+        self._recent_indptr: Optional[np.ndarray] = None
+        self._recent_indices: Optional[np.ndarray] = None
+        self._recent_dirty = True
+        # Users whose recent list changed since the last full CSR build; their
+        # rows are overlaid at scoring time so a real-time update stream never
+        # pays an O(num_users) rebuild per event.
+        self._recent_overrides: Dict[int, np.ndarray] = {}
         self._fitted = False
 
     # ------------------------------------------------------------------ #
@@ -80,6 +106,9 @@ class UserNeighborhoodComponent:
 
         ``histories`` optionally overrides the training histories (e.g. with
         validation items merged back in for final test-time evaluation).
+        Embedding inference runs through the model's batched forward
+        (``infer_user_embeddings_batch``) — one vectorized pass over all
+        users instead of ``num_users`` single-history calls.
         """
 
         self.num_users = dataset.num_users
@@ -89,17 +118,14 @@ class UserNeighborhoodComponent:
             for user, sequence in histories.items():
                 base_histories[user] = list(sequence)
 
-        embeddings = np.zeros((self.num_users, ui_model.embedding_dim), dtype=np.float64)
-        recent: Dict[int, List[int]] = {}
-        for user in range(self.num_users):
-            sequence = base_histories.get(user, [])
-            if sequence:
-                embeddings[user] = ui_model.infer_user_embedding(sequence)
-                recent[user] = recent_window(sequence, self.recency_window)
-            else:
-                recent[user] = []
+        sequences = [list(base_histories.get(user, [])) for user in range(self.num_users)]
+        embeddings = np.asarray(ui_model.infer_user_embeddings_batch(sequences), dtype=np.float64)
+        self._recent_items = {
+            user: recent_window(sequence, self.recency_window) if sequence else []
+            for user, sequence in enumerate(sequences)
+        }
+        self._recent_dirty = True
         self._user_embeddings = embeddings
-        self._recent_items = recent
         self.index.build(embeddings)
         self._fitted = True
         return self
@@ -107,6 +133,35 @@ class UserNeighborhoodComponent:
     def _require_fitted(self) -> None:
         if not self._fitted or self._user_embeddings is None:
             raise RuntimeError("UserNeighborhoodComponent has not been fitted")
+
+    def _ensure_recent_csr(self) -> None:
+        """(Re)build the CSR view of the recent-items table when stale.
+
+        Single-user updates do not mark the table stale — they land in
+        ``_recent_overrides`` (consulted at scoring time) until enough of them
+        accumulate to be worth folding into a fresh CSR build.
+        """
+
+        if not self._recent_dirty and self._recent_indptr is not None:
+            return
+        counts = np.zeros(self.num_users, dtype=np.int64)
+        chunks: List[List[int]] = []
+        for user in range(self.num_users):
+            items = [
+                item for item in self._recent_items.get(user, []) if 0 <= item < self.num_items
+            ]
+            counts[user] = len(items)
+            if items:
+                chunks.append(items)
+        self._recent_indptr = np.zeros(self.num_users + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._recent_indptr[1:])
+        self._recent_indices = (
+            np.concatenate([np.asarray(chunk, dtype=np.int64) for chunk in chunks])
+            if chunks
+            else np.empty(0, dtype=np.int64)
+        )
+        self._recent_overrides = {}
+        self._recent_dirty = False
 
     # ------------------------------------------------------------------ #
     # neighborhood identification (eq. 11)
@@ -130,6 +185,49 @@ class UserNeighborhoodComponent:
     # ------------------------------------------------------------------ #
     # local scoring (eq. 12)
     # ------------------------------------------------------------------ #
+    def _scores_from_neighbors(
+        self, neighbor_ids: np.ndarray, similarities: np.ndarray
+    ) -> np.ndarray:
+        """Eq. (12) as one sparse product: gather recent-item rows, bincount votes."""
+
+        self._ensure_recent_csr()
+        positive = similarities > 0
+        neighbor_ids = np.asarray(neighbor_ids, dtype=np.int64)[positive]
+        weights = np.asarray(similarities, dtype=np.float64)[positive]
+        scores = np.zeros(self.num_items, dtype=np.float64)
+        if not len(neighbor_ids):
+            return scores
+
+        if self._recent_overrides:
+            overridden = np.asarray(
+                [int(user) in self._recent_overrides for user in neighbor_ids], dtype=bool
+            )
+            for user, weight in zip(neighbor_ids[overridden], weights[overridden]):
+                items = self._recent_overrides[int(user)]
+                if len(items):
+                    np.add.at(scores, items, weight)
+            neighbor_ids = neighbor_ids[~overridden]
+            weights = weights[~overridden]
+            if not len(neighbor_ids):
+                return scores
+
+        starts = self._recent_indptr[neighbor_ids]
+        counts = self._recent_indptr[neighbor_ids + 1] - starts
+        voted_items = _gather_slices(self._recent_indices, starts, counts)
+        if len(voted_items):
+            scores += np.bincount(
+                voted_items, weights=np.repeat(weights, counts), minlength=self.num_items
+            )
+        return scores
+
+    @staticmethod
+    def _zero_excluded(scores: np.ndarray, exclude_items: Optional[Iterable[int]]) -> np.ndarray:
+        if exclude_items is not None:
+            exclude_list = [item for item in exclude_items if 0 <= item < len(scores)]
+            if exclude_list:
+                scores[np.asarray(exclude_list, dtype=np.int64)] = 0.0
+        return scores
+
     def uu_scores(
         self,
         user_embedding: np.ndarray,
@@ -140,18 +238,8 @@ class UserNeighborhoodComponent:
 
         self._require_fitted()
         neighbor_ids, similarities = self.neighbors(user_embedding, exclude_user)
-        scores = np.zeros(self.num_items, dtype=np.float64)
-        for neighbor, similarity in zip(neighbor_ids, similarities):
-            if similarity <= 0:
-                continue
-            for item in self._recent_items.get(int(neighbor), []):
-                if 0 <= item < self.num_items:
-                    scores[item] += float(similarity)
-        if exclude_items is not None:
-            exclude_list = [item for item in exclude_items if 0 <= item < self.num_items]
-            if exclude_list:
-                scores[np.asarray(exclude_list, dtype=np.int64)] = 0.0
-        return scores
+        scores = self._scores_from_neighbors(neighbor_ids, similarities)
+        return self._zero_excluded(scores, exclude_items)
 
     def score_for_user(
         self,
@@ -163,6 +251,51 @@ class UserNeighborhoodComponent:
 
         exclude_items = history if history is not None else self._recent_items.get(user_id, [])
         return self.uu_scores(user_embedding, exclude_user=user_id, exclude_items=exclude_items)
+
+    def score_for_users(
+        self,
+        user_ids: Sequence[int],
+        user_embeddings: Optional[np.ndarray] = None,
+        histories: Optional[Sequence[Optional[Sequence[int]]]] = None,
+    ) -> np.ndarray:
+        """Batched :meth:`score_for_user`; returns ``(B, num_items)``.
+
+        Neighborhoods for the whole batch come from one ``search_batch`` call
+        (a single query-matrix matmul on the default brute-force index), and
+        each user's eq. (12) is a gather + ``bincount``.  ``user_embeddings``
+        defaults to the fitted embeddings of ``user_ids``; ``histories``
+        optionally overrides the per-user exclusion lists exactly like the
+        ``history`` argument of :meth:`score_for_user`.
+        """
+
+        self._require_fitted()
+        user_ids = [int(user) for user in user_ids]
+        if histories is not None and len(histories) != len(user_ids):
+            raise ValueError("histories must have one entry per user id")
+        if user_embeddings is None:
+            for user in user_ids:
+                if not 0 <= user < self.num_users:
+                    raise ValueError("user_id out of range")
+            user_embeddings = self._user_embeddings[np.asarray(user_ids, dtype=np.int64)]
+        else:
+            user_embeddings = np.asarray(user_embeddings, dtype=np.float64)
+            if user_embeddings.shape[0] != len(user_ids):
+                raise ValueError("user_embeddings must have one row per user id")
+
+        exclusions = [np.asarray([user], dtype=np.int64) for user in user_ids]
+        neighborhoods = search_batch(
+            self.index, user_embeddings, self.num_neighbors, exclude_per_query=exclusions
+        )
+
+        scores = np.zeros((len(user_ids), self.num_items), dtype=np.float64)
+        for row, (neighbor_ids, similarities) in enumerate(neighborhoods):
+            scores[row] = self._scores_from_neighbors(neighbor_ids, similarities)
+            if histories is not None and histories[row] is not None:
+                exclude_items: Iterable[int] = histories[row]
+            else:
+                exclude_items = self._recent_items.get(user_ids[row], [])
+            self._zero_excluded(scores[row], exclude_items)
+        return scores
 
     # ------------------------------------------------------------------ #
     # real-time maintenance
@@ -186,7 +319,16 @@ class UserNeighborhoodComponent:
         embedding = ui_model.infer_user_embedding(history)
         self._user_embeddings[user_id] = embedding
         self.index.update(user_id, embedding)
-        self._recent_items[user_id] = recent_window(list(history), self.recency_window)
+        recent = recent_window(list(history), self.recency_window)
+        self._recent_items[user_id] = recent
+        if not self._recent_dirty:
+            # Overlay this user's row instead of invalidating the whole CSR;
+            # fold the overlays into a full rebuild only once they pile up.
+            self._recent_overrides[user_id] = np.asarray(
+                [item for item in recent if 0 <= item < self.num_items], dtype=np.int64
+            )
+            if len(self._recent_overrides) > max(64, self.num_users // 20):
+                self._recent_dirty = True
         return embedding
 
     def user_embedding(self, user_id: int) -> np.ndarray:

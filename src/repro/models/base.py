@@ -62,6 +62,54 @@ class Recommender(abc.ABC):
         test users with their validation item merged back in).
         """
 
+    @staticmethod
+    def _validate_batch_histories(
+        user_ids: Sequence[int],
+        histories: Optional[Sequence[Optional[Sequence[int]]]],
+    ) -> None:
+        if histories is not None and len(histories) != len(user_ids):
+            raise ValueError("histories must have one entry per user id")
+
+    def _resolve_batch_histories(
+        self,
+        user_ids: Sequence[int],
+        histories: Optional[Sequence[Optional[Sequence[int]]]],
+    ) -> List[List[int]]:
+        """Per-user histories for a batch call: explicit entries win, ``None``
+        entries fall back to the stored training histories (empty if unfitted)."""
+
+        self._validate_batch_histories(user_ids, histories)
+        stored = getattr(self, "_user_histories", None)
+        resolved: List[List[int]] = []
+        for position, user in enumerate(user_ids):
+            history = histories[position] if histories is not None else None
+            if history is None:
+                history = stored.get(user, []) if stored is not None else []
+            resolved.append(list(history))
+        return resolved
+
+    def score_items_batch(
+        self,
+        user_ids: Sequence[int],
+        histories: Optional[Sequence[Optional[Sequence[int]]]] = None,
+    ) -> np.ndarray:
+        """Score the whole catalog for a batch of users; returns ``(B, num_items)``.
+
+        The base implementation loops over :meth:`score_items`;
+        :class:`InductiveUIModel` replaces it with one batched embedding
+        inference plus a single ``(B×d)·(d×num_items)`` matmul, which is what
+        the batched evaluator and serving paths ride on.
+        """
+
+        self._validate_batch_histories(user_ids, histories)
+        rows = [
+            self.score_items(user, history=None if histories is None else histories[position])
+            for position, user in enumerate(user_ids)
+        ]
+        if not rows:
+            return np.zeros((0, self.num_items), dtype=np.float64)
+        return np.stack(rows)
+
     def recommend(
         self,
         user_id: int,
@@ -122,6 +170,22 @@ class InductiveUIModel(Recommender):
             raise RuntimeError("model has not been fitted")
         return list(histories.get(user_id, []))
 
+    def infer_user_embeddings_batch(self, histories: Sequence[Sequence[int]]) -> np.ndarray:
+        """Stack ``infer_user_embedding`` over many histories: ``(B, dim)``.
+
+        The base implementation is a loop fallback so any inductive model
+        works unchanged; FISM / SASRec / YouTubeDNN override it with a single
+        vectorized forward pass over the whole batch.  Empty histories map to
+        zero vectors, matching the single-history convention.
+        """
+
+        table = np.zeros((len(histories), self.embedding_dim), dtype=np.float64)
+        for row, history in enumerate(histories):
+            history = list(history)
+            if history:
+                table[row] = self.infer_user_embedding(history)
+        return table
+
     def all_user_embeddings(self, histories: Optional[Dict[int, Sequence[int]]] = None) -> np.ndarray:
         """Stack embeddings for every user id in ``[0, num_users)``.
 
@@ -129,15 +193,26 @@ class InductiveUIModel(Recommender):
         anyone's informative neighbor).
         """
 
-        table = np.zeros((self.num_users, self.embedding_dim), dtype=np.float64)
+        resolved: List[List[int]] = []
         for user in range(self.num_users):
             if histories is not None and user in histories:
-                history = list(histories[user])
+                resolved.append(list(histories[user]))
             else:
-                history = self.training_history(user) if hasattr(self, "_user_histories") else []
-            if history:
-                table[user] = self.infer_user_embedding(history)
-        return table
+                resolved.append(
+                    self.training_history(user) if hasattr(self, "_user_histories") else []
+                )
+        return self.infer_user_embeddings_batch(resolved)
+
+    def score_items_batch(
+        self,
+        user_ids: Sequence[int],
+        histories: Optional[Sequence[Optional[Sequence[int]]]] = None,
+    ) -> np.ndarray:
+        """Batched eq. (10): one embedding-inference batch, one scoring matmul."""
+
+        resolved = self._resolve_batch_histories(user_ids, histories)
+        embeddings = self.infer_user_embeddings_batch(resolved)
+        return embeddings @ self.item_embeddings().T
 
     @property
     def embedding_dim(self) -> int:

@@ -154,6 +154,35 @@ class FISM(InductiveUIModel):
         vectors = self.item_table.weight.data[np.asarray(window, dtype=np.int64)]
         return vectors.sum(axis=0) / float(len(window)) ** self.alpha
 
+    def infer_user_embeddings_batch(self, histories: Sequence[Sequence[int]]) -> np.ndarray:
+        """Vectorized eq. (1) over a batch: one gather + one masked sum.
+
+        Windows are right-padded into a ``(B, window)`` id matrix; padded
+        positions contribute zero vectors, so the masked sum equals the
+        per-user pooling of :meth:`infer_user_embedding` exactly.
+        """
+
+        if self.item_table is None:
+            raise RuntimeError("FISM model has not been fitted")
+        if not len(histories):
+            return np.zeros((0, self.embedding_dim_config), dtype=np.float64)
+        windows = [
+            recent_window([i for i in history if 0 <= i < self.num_items], self.inference_window)
+            for history in histories
+        ]
+        lengths = np.asarray([len(window) for window in windows], dtype=np.int64)
+        padded = np.zeros((len(windows), self.inference_window), dtype=np.int64)
+        mask = np.zeros((len(windows), self.inference_window), dtype=np.float64)
+        for row, window in enumerate(windows):
+            if window:
+                padded[row, : len(window)] = window
+                mask[row, : len(window)] = 1.0
+        vectors = self.item_table.weight.data[padded]              # (B, W, d)
+        pooled = (vectors * mask[:, :, None]).sum(axis=1)          # (B, d)
+        denom = np.maximum(lengths, 1).astype(np.float64) ** self.alpha
+        pooled /= denom[:, None]
+        return pooled
+
     def item_embeddings(self) -> np.ndarray:
         if self.item_table is None:
             raise RuntimeError("FISM model has not been fitted")

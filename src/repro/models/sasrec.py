@@ -212,6 +212,37 @@ class SASRec(InductiveUIModel):
             hidden = self.network(padded)
         return hidden.data[0, -1].copy()
 
+    def infer_user_embeddings_batch(
+        self, histories: Sequence[Sequence[int]], chunk_size: int = 256
+    ) -> np.ndarray:
+        """Batched eq. (8): encode many padded sequences per Transformer forward.
+
+        Non-empty histories are stacked into ``(chunk, max_length)`` blocks so
+        the encoder amortizes its matmuls across users; empty histories get
+        zero vectors without touching the network.
+        """
+
+        if self.network is None:
+            raise RuntimeError("SASRec model has not been fitted")
+        table = np.zeros((len(histories), self.embedding_dim_config), dtype=np.float64)
+        rows: List[int] = []
+        padded: List[np.ndarray] = []
+        for row, history in enumerate(histories):
+            cleaned = [item + 1 for item in history if 0 <= item < self.num_items]
+            if cleaned:
+                rows.append(row)
+                padded.append(pad_and_truncate(cleaned, self.max_length))
+        if not rows:
+            return table
+        sequences = np.stack(padded)
+        self.network.eval()
+        with nn.no_grad():
+            for start in range(0, len(sequences), chunk_size):
+                chunk_rows = rows[start:start + chunk_size]
+                hidden = self.network(sequences[start:start + chunk_size])
+                table[chunk_rows] = hidden.data[:, -1]
+        return table
+
     def item_embeddings(self) -> np.ndarray:
         if self.network is None:
             raise RuntimeError("SASRec model has not been fitted")

@@ -166,6 +166,35 @@ class YouTubeDNN(InductiveUIModel):
             output = self.tower(pooled)
         return output.data[0].copy()
 
+    def infer_user_embeddings_batch(
+        self, histories: Sequence[Sequence[int]], chunk_size: int = 512
+    ) -> np.ndarray:
+        """Batched inference: pooled windows stacked into one tower forward."""
+
+        if self.item_table is None or self.tower is None:
+            raise RuntimeError("YouTubeDNN model has not been fitted")
+        table = np.zeros((len(histories), self.embedding_dim_config), dtype=np.float64)
+        rows: List[int] = []
+        pooled_rows: List[np.ndarray] = []
+        weights = self.item_table.weight.data
+        for row, history in enumerate(histories):
+            window = recent_window(
+                [item for item in history if 0 <= item < self.num_items], self.history_window
+            )
+            if window:
+                rows.append(row)
+                pooled_rows.append(weights[np.asarray(window, dtype=np.int64)].mean(axis=0))
+        if not rows:
+            return table
+        pooled = np.stack(pooled_rows)
+        self.tower.eval()
+        with nn.no_grad():
+            for start in range(0, len(pooled), chunk_size):
+                chunk_rows = rows[start:start + chunk_size]
+                output = self.tower(nn.Tensor(pooled[start:start + chunk_size]))
+                table[chunk_rows] = output.data
+        return table
+
     def item_embeddings(self) -> np.ndarray:
         if self.item_table is None:
             raise RuntimeError("YouTubeDNN model has not been fitted")

@@ -133,11 +133,70 @@ class TestBruteForceIndex:
             index.search(np.ones(3), k=1)
         with pytest.raises(ValueError):
             BruteForceIndex(metric="bad")
+        with pytest.raises(ValueError):
+            BruteForceIndex(dtype=np.int32)
         built = BruteForceIndex().build(rng.normal(size=(4, 3)))
         with pytest.raises(ValueError):
             built.search(np.ones(3), k=0)
         with pytest.raises(ValueError):
             built.update(0, np.ones(7))
+
+    def test_default_dtype_is_float32(self, rng):
+        index = BruteForceIndex().build(rng.normal(size=(6, 4)))
+        assert index._vectors.dtype == np.float32
+        assert index._normalized.dtype == np.float32
+
+    def test_float64_opt_in(self, rng):
+        index = BruteForceIndex(dtype=np.float64).build(rng.normal(size=(6, 4)))
+        assert index._vectors.dtype == np.float64
+        _, sims = index.search(rng.normal(size=4), k=2)
+        assert sims.dtype == np.float64
+
+    def test_search_does_not_renormalize_index(self, rng, monkeypatch):
+        """Regression: queries must score against the cached normalized rows.
+
+        The seed implementation called ``cosine_similarity(query, vectors)``
+        per search, re-normalizing all N index rows on every query.  Now the
+        only normalization during search is of the query rows themselves.
+        """
+
+        import repro.ann.brute_force as brute_force_module
+
+        vectors = rng.normal(size=(50, 8))
+        index = BruteForceIndex().build(vectors)
+        normalized_shapes = []
+        original_normalize = brute_force_module.normalize_rows
+
+        def counting_normalize(matrix):
+            normalized_shapes.append(np.asarray(matrix).shape)
+            return original_normalize(matrix)
+
+        monkeypatch.setattr(brute_force_module, "normalize_rows", counting_normalize)
+        assert not hasattr(brute_force_module, "cosine_similarity")  # never re-imported
+        for _ in range(5):
+            index.search(rng.normal(size=8), k=3)
+        index.search_batch(rng.normal(size=(4, 8)), k=3)
+        # every normalize call touched only query rows, never the 50-row index
+        assert normalized_shapes
+        assert all(shape[0] <= 4 for shape in normalized_shapes)
+
+    def test_ivf_search_does_not_renormalize_index(self, rng, monkeypatch):
+        import repro.ann.ivf as ivf_module
+
+        vectors = rng.normal(size=(60, 8))
+        index = IVFIndex(num_cells=4, n_probe=2, rng=rng).build(vectors)
+        normalized_shapes = []
+        original_normalize = ivf_module.normalize_rows
+
+        def counting_normalize(matrix):
+            normalized_shapes.append(np.asarray(matrix).shape)
+            return original_normalize(matrix)
+
+        monkeypatch.setattr(ivf_module, "normalize_rows", counting_normalize)
+        for _ in range(5):
+            index.search(rng.normal(size=8), k=3)
+        assert normalized_shapes
+        assert all(shape[0] == 1 for shape in normalized_shapes)
 
 
 class TestKMeans:
@@ -206,3 +265,33 @@ class TestIVFIndex:
             IVFIndex(num_cells=0)
         with pytest.raises(RuntimeError):
             IVFIndex().search(np.ones(2), k=1)
+        with pytest.raises(ValueError):
+            IVFIndex(dtype=np.int16)
+
+    def test_cells_stored_as_sets(self, rng):
+        """Regression for the O(cell-size) ``list.remove`` in ``update``."""
+
+        vectors = rng.normal(size=(40, 4))
+        index = IVFIndex(num_cells=4, n_probe=4, rng=rng).build(vectors)
+        assert all(isinstance(cell, set) for cell in index._cells.values())
+        members = sorted(position for cell in index._cells.values() for position in cell)
+        assert members == list(range(40))
+
+    def test_update_keeps_search_output_identical(self, rng):
+        """After arbitrary updates, search equals a freshly-built exact scan."""
+
+        vectors = rng.normal(size=(80, 6))
+        index = IVFIndex(num_cells=5, n_probe=5, rng=rng).build(vectors)
+        updated = vectors.copy()
+        for position in [3, 17, 3, 64, 42, 17]:
+            updated[position] = rng.normal(size=6) * 3
+            index.update(position, updated[position])
+        # cells still partition all positions exactly once
+        members = sorted(position for cell in index._cells.values() for position in cell)
+        assert members == list(range(80))
+        exact = BruteForceIndex().build(updated)
+        for _ in range(5):
+            query = rng.normal(size=6)
+            approx_ids, _ = index.search(query, k=10)
+            exact_ids, _ = exact.search(query, k=10)
+            np.testing.assert_array_equal(np.sort(approx_ids), np.sort(exact_ids))

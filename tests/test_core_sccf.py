@@ -93,6 +93,40 @@ class TestScoring:
         np.testing.assert_allclose(first, second)
 
 
+class TestMergeCandidates:
+    def test_merged_candidates_deduplicated_and_seen_free(self, fitted_sccf, tiny_dataset):
+        """The unsorted-unique merge keeps union1d's set semantics."""
+
+        for user in tiny_dataset.evaluation_users()[:5]:
+            history = tiny_dataset.train.user_sequence(user)
+            embedding = fitted_sccf.ui_model.infer_user_embedding(history)
+            ui_scores = fitted_sccf.ui_model.ui_scores(embedding)
+            uu_scores = fitted_sccf.neighborhood.score_for_user(user, embedding, history=history)
+            merged = fitted_sccf._merge_candidates(ui_scores, uu_scores, history)
+            # deduplicated
+            assert len(merged) == len(set(merged.tolist()))
+            # no already-seen items
+            assert not set(merged.tolist()) & set(history)
+            # same candidate *set* as the old sorted union
+            from repro.models.base import exclude_seen_items
+
+            size = min(fitted_sccf.config.candidate_list_size, fitted_sccf.num_items)
+            ui_top = fitted_sccf._top_k(exclude_seen_items(ui_scores, history), size)
+            uu_top = fitted_sccf._top_k(
+                exclude_seen_items(uu_scores, history), size, positive_only=True
+            )
+            np.testing.assert_array_equal(np.sort(merged), np.union1d(ui_top, uu_top))
+
+    def test_merge_with_overlapping_lists(self, fitted_sccf):
+        ui_scores = np.zeros(fitted_sccf.num_items)
+        uu_scores = np.zeros(fitted_sccf.num_items)
+        ui_scores[[1, 2, 3]] = [3.0, 2.0, 1.0]
+        uu_scores[[2, 3, 4]] = [3.0, 2.0, 1.0]
+        merged = fitted_sccf._merge_candidates(ui_scores, uu_scores, history=[])
+        assert len(merged) == len(set(merged.tolist()))
+        assert {2, 3, 4} <= set(merged.tolist())
+
+
 class TestFitting:
     def test_fit_without_refitting_ui_model(self, tiny_dataset, trained_fism):
         item_table_before = trained_fism.item_embeddings().copy()
