@@ -1,0 +1,135 @@
+"""Per-event vs micro-batched streaming ingestion throughput (events/sec).
+
+The paper's deployment story (Section III-C2, Table III) is that SCCF reacts
+to every click in real time.  ``RealTimeServer.observe`` pays one UI forward,
+one index row update and one neighbor query *per event*;
+``RealTimeServer.observe_batch`` (fed by an ``EventBuffer``) coalesces a
+micro-batch of events per user and pays one batched forward, one vectorized
+index row replacement and one batched neighbor search for the whole flush.
+This bench streams the same synthetic event workload through both routes and
+reports events/sec at several flush sizes.
+
+Run it directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_streaming_ingest.py
+    PYTHONPATH=src python benchmarks/bench_streaming_ingest.py --num-events 8192 --flush-sizes 64 256 1024
+    PYTHONPATH=src python benchmarks/bench_streaming_ingest.py --smoke   # tiny CI configuration
+
+The acceptance bar for the streaming ingestion PR: micro-batched ingestion
+>= 3x the per-event events/sec at flush size 256 on the default workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core import EventBuffer, RealTimeServer, SCCF, SCCFConfig
+from repro.data import load_preset
+from repro.models import FISM
+
+
+def build_sccf(num_users: int, num_items: int, dim: int, num_neighbors: int, seed: int = 13):
+    """A fitted SCCF on a synthetic dataset sized for the ingestion workload."""
+
+    dataset = load_preset(
+        "tiny",
+        seed=seed,
+        num_users=num_users,
+        num_items=num_items,
+        avg_interactions=20.0,
+        name="bench-streaming",
+    )
+    model = FISM(embedding_dim=dim, num_epochs=0, seed=seed).fit(dataset)
+    sccf = SCCF(
+        model,
+        SCCFConfig(num_neighbors=num_neighbors, candidate_list_size=100, merger_epochs=1, seed=seed),
+    )
+    sccf.fit(dataset, fit_ui_model=False)
+    return sccf, dataset
+
+
+def make_events(num_events: int, num_users: int, num_items: int, seed: int = 29):
+    """A synthetic click stream: zipf-ish hot users over a uniform catalog."""
+
+    rng = np.random.default_rng(seed)
+    users = rng.integers(0, num_users, size=num_events)
+    items = rng.integers(0, num_items, size=num_events)
+    return list(zip(users.tolist(), items.tolist()))
+
+
+def bench_ingestion(sccf, dataset, events, flush_sizes: List[int]) -> List[Dict]:
+    rows: List[Dict] = []
+
+    server = RealTimeServer(sccf, dataset)
+    start = time.perf_counter()
+    for user, item in events:
+        server.observe(user, item)
+    per_event_eps = len(events) / (time.perf_counter() - start)
+    rows.append({"path": "per-event observe", "events_per_sec": per_event_eps, "speedup": 1.0})
+
+    for flush_size in flush_sizes:
+        server = RealTimeServer(sccf, dataset)
+        start = time.perf_counter()
+        with EventBuffer(server, flush_size=flush_size) as buffer:
+            for user, item in events:
+                buffer.push(user, item)
+        elapsed = time.perf_counter() - start
+        eps = len(events) / elapsed
+        rows.append(
+            {
+                "path": f"micro-batch flush={flush_size}",
+                "events_per_sec": eps,
+                "speedup": eps / per_event_eps,
+            }
+        )
+    return rows
+
+
+def format_rows(rows: List[Dict]) -> str:
+    header = f"{'ingestion path':<32} {'events/sec':>12} {'vs per-event':>14}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['path']:<32} {row['events_per_sec']:>12.0f} {row['speedup']:>13.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def main() -> List[Dict]:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-users", type=int, default=2000)
+    parser.add_argument("--num-items", type=int, default=1000)
+    parser.add_argument("--dim", type=int, default=64)
+    parser.add_argument("--num-neighbors", type=int, default=100)
+    parser.add_argument("--num-events", type=int, default=2048)
+    parser.add_argument(
+        "--flush-sizes", type=int, nargs="+", default=[16, 64, 256],
+        help="EventBuffer flush sizes to sweep (256 carries the acceptance bar)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI configuration: just proves the bench runs end to end",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.num_users, args.num_items, args.dim = 150, 120, 16
+        args.num_neighbors, args.num_events, args.flush_sizes = 20, 96, [8, 32]
+
+    sccf, dataset = build_sccf(args.num_users, args.num_items, args.dim, args.num_neighbors)
+    events = make_events(args.num_events, dataset.num_users, dataset.num_items)
+    rows = bench_ingestion(sccf, dataset, events, args.flush_sizes)
+    print(
+        f"streaming ingestion: {args.num_events} events, {args.num_users} users, "
+        f"{args.num_items} items, d={args.dim}, beta={args.num_neighbors}"
+    )
+    print(format_rows(rows))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -25,7 +25,7 @@ import time
 
 import numpy as np
 
-from repro.core import RealTimeServer, SCCF, SCCFConfig
+from repro.core import EventBuffer, RealTimeServer, SCCF, SCCFConfig
 from repro.data import load_preset
 from repro.models import SASRec, UserKNN
 
@@ -62,6 +62,22 @@ def main() -> None:
         f"\nSCCF average per-event latency: infer={average.inferring_ms:.2f}ms, "
         f"identify={average.identifying_ms:.2f}ms, total={average.total_ms:.2f}ms"
     )
+
+    print("\nsame burst micro-batched through an EventBuffer (one flush):")
+    burst = [
+        (int(user), int(rng.integers(0, dataset.num_items)))
+        for user in users
+        for _ in range(3)
+    ]
+    with EventBuffer(server, flush_size=len(burst)) as buffer:
+        for user, item in burst:
+            flushed = buffer.push(user, item)
+            if flushed is not None:
+                print(
+                    f"  flushed {flushed.num_events} events in one batch:  "
+                    f"infer={flushed.inferring_ms:6.2f}ms  identify={flushed.identifying_ms:6.2f}ms  "
+                    f"(amortized {flushed.total_ms / flushed.num_events:.2f}ms/event)"
+                )
 
     print("\nsame events through UserKNN's transductive recompute path:")
     samples = []

@@ -15,7 +15,7 @@ for convenience; see the subpackages for the full surface:
 * :mod:`repro.experiments` — per-table/figure experiment runners
 """
 
-from .core import SCCF, SCCFConfig, RealTimeServer, UserNeighborhoodComponent
+from .core import EventBuffer, SCCF, SCCFConfig, RealTimeServer, UserNeighborhoodComponent
 from .data import RecDataset, load_preset
 from .eval import Evaluator
 from .models import BPRMF, FISM, ItemKNN, Popularity, SASRec, UserKNN, YouTubeDNN
@@ -26,6 +26,7 @@ __all__ = [
     "SCCF",
     "SCCFConfig",
     "RealTimeServer",
+    "EventBuffer",
     "UserNeighborhoodComponent",
     "RecDataset",
     "load_preset",

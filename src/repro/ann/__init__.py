@@ -15,6 +15,7 @@ __all__ = [
     "kmeans",
     "top_k_rows",
     "search_batch",
+    "update_batch",
     "cosine_similarity",
     "inner_product",
     "normalize_rows",
@@ -67,3 +68,23 @@ def search_batch(
         )
         for row in range(len(queries))
     ]
+
+
+def update_batch(index: NeighborIndex, positions: Sequence[int], vectors: np.ndarray) -> None:
+    """Batched row replacement through any :class:`NeighborIndex`.
+
+    Uses the index's native ``update_batch`` (one fancy-indexed write plus one
+    batched reassignment) when it has one, falling back to a row-at-a-time
+    ``update`` loop for third-party indexes that only implement the
+    single-row protocol.
+    """
+
+    native = getattr(index, "update_batch", None)
+    if native is not None:
+        native(positions, vectors)
+        return
+    vectors = np.asarray(vectors)
+    if vectors.ndim != 2 or len(vectors) != len(positions):
+        raise ValueError("vectors must be 2-d with one row per position")
+    for position, vector in zip(positions, vectors):
+        index.update(int(position), vector)

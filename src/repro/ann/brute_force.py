@@ -74,7 +74,14 @@ def apply_exclusions(
         if exclude is None:
             continue
         exclude = np.asarray(exclude, dtype=np.int64)
-        if len(exclude):
+        if not len(exclude):
+            continue
+        if len(exclude) <= 8:
+            # Tiny exclusion lists (usually just the query user herself):
+            # direct compares beat np.isin's sort-based machinery.
+            for value in exclude:
+                scores[row, ids == value] = -np.inf
+        else:
             scores[row, np.isin(ids, exclude)] = -np.inf
     return scores
 
@@ -131,18 +138,68 @@ class BruteForceIndex:
         return self
 
     def update(self, position: int, vector: np.ndarray) -> None:
-        """Overwrite one indexed vector in place (real-time embedding refresh)."""
+        """Overwrite one indexed vector in place (batch-of-one ``update_batch``)."""
+
+        vector = np.asarray(vector)
+        if vector.ndim != 1:
+            raise ValueError("vector dimensionality mismatch")
+        self.update_batch(np.asarray([position], dtype=np.int64), vector[None, :])
+
+    def update_batch(self, positions: Sequence[int], vectors: np.ndarray) -> None:
+        """Overwrite many indexed rows at once (vectorized embedding refresh).
+
+        One fancy-indexed assignment plus one batched row normalization,
+        instead of ``len(positions)`` Python-level ``update`` calls.  With
+        duplicate positions the last row wins.
+        """
 
         if self._vectors is None:
             raise RuntimeError("index has not been built")
-        vector = np.asarray(vector, dtype=self.dtype)
-        if vector.shape != (self._vectors.shape[1],):
+        positions = np.asarray(positions, dtype=np.int64)
+        vectors = np.asarray(vectors, dtype=self.dtype)
+        if vectors.ndim != 2 or len(vectors) != len(positions):
+            raise ValueError("vectors must be 2-d with one row per position")
+        if vectors.shape[1] != self._vectors.shape[1]:
             raise ValueError("vector dimensionality mismatch")
-        self._vectors[position] = vector
+        if not len(positions):
+            return
+        if positions.min() < 0 or positions.max() >= len(self._vectors):
+            raise ValueError("position out of range")
+        self._vectors[positions] = vectors
         if self.metric == "cosine":
-            self._normalized[position] = normalize_rows(vector).astype(self.dtype, copy=False)
+            self._normalized[positions] = normalize_rows(vectors).astype(self.dtype, copy=False)
+
+    def add(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> "BruteForceIndex":
+        """Append new rows to the index (cold-start growth at serve time).
+
+        ``ids`` default to the next row positions, continuing the positional
+        numbering of :meth:`build`; pass explicit ids when the index was built
+        with custom ones.
+        """
+
+        if self._vectors is None:
+            raise RuntimeError("index has not been built")
+        vectors = np.asarray(vectors, dtype=self.dtype)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        if vectors.ndim != 2 or vectors.shape[1] != self._vectors.shape[1]:
+            raise ValueError("vector dimensionality mismatch")
+        new_ids = (
+            np.arange(len(self._vectors), len(self._vectors) + len(vectors), dtype=np.int64)
+            if ids is None
+            else np.asarray(ids, dtype=np.int64)
+        )
+        if len(new_ids) != len(vectors):
+            raise ValueError("ids must match the number of vectors")
+        self._vectors = np.concatenate([self._vectors, vectors])
+        if self.metric == "cosine":
+            self._normalized = np.concatenate(
+                [self._normalized, normalize_rows(vectors).astype(self.dtype, copy=False)]
+            )
         else:
             self._normalized = self._vectors
+        self._ids = np.concatenate([self._ids, new_ids])
+        return self
 
     @property
     def size(self) -> int:

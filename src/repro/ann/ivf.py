@@ -155,24 +155,90 @@ class IVFIndex:
     def update(self, position: int, vector: np.ndarray) -> None:
         """Replace a vector and move it to its (possibly new) nearest cell."""
 
+        vector = np.asarray(vector)
+        if vector.ndim != 1:
+            raise ValueError("vector dimensionality mismatch")
+        self.update_batch(np.asarray([position], dtype=np.int64), vector[None, :])
+
+    def update_batch(self, positions: Sequence[int], vectors: np.ndarray) -> None:
+        """Replace many rows at once: one write, one centroid-distance matrix.
+
+        Cell reassignment for the whole batch comes from a single
+        ``_squared_distances`` call; only rows whose nearest centroid actually
+        changed pay the set-move bookkeeping.
+        """
+
         if self._vectors is None:
             raise RuntimeError("index has not been built")
-        vector = np.asarray(vector, dtype=self.dtype)
-        if vector.shape != (self._vectors.shape[1],):
+        positions = np.asarray(positions, dtype=np.int64)
+        vectors = np.asarray(vectors, dtype=self.dtype)
+        if vectors.ndim != 2 or len(vectors) != len(positions):
+            raise ValueError("vectors must be 2-d with one row per position")
+        if vectors.shape[1] != self._vectors.shape[1]:
             raise ValueError("vector dimensionality mismatch")
-        self._vectors[position] = vector
-        self._normalized[position] = normalize_rows(vector).astype(self.dtype, copy=False)
-        old_cell = int(self._assignments[position])
-        distances = _squared_distances(
-            np.asarray(vector, dtype=np.float64)[None, :], self._centroids
-        )[0]
-        new_cell = int(distances.argmin())
-        if new_cell != old_cell:
+        if not len(positions):
+            return
+        if positions.min() < 0 or positions.max() >= len(self._vectors):
+            raise ValueError("position out of range")
+        if len(np.unique(positions)) != len(positions):
+            # Keep only the last row per duplicated position (last write wins);
+            # otherwise the cell-move loop below sees a stale old_cell on the
+            # second occurrence and leaves the row a member of two cells.
+            _, first_in_reversed = np.unique(positions[::-1], return_index=True)
+            keep = len(positions) - 1 - first_in_reversed
+            positions = positions[keep]
+            vectors = vectors[keep]
+        self._vectors[positions] = vectors
+        self._normalized[positions] = normalize_rows(vectors).astype(self.dtype, copy=False)
+        distances = _squared_distances(np.asarray(vectors, dtype=np.float64), self._centroids)
+        new_cells = distances.argmin(axis=1)
+        old_cells = self._assignments[positions]
+        for position, old_cell, new_cell in zip(positions, old_cells, new_cells):
+            if new_cell == old_cell:
+                continue
+            position, old_cell, new_cell = int(position), int(old_cell), int(new_cell)
             self._cells[old_cell].discard(position)
             self._cells.setdefault(new_cell, set()).add(position)
-            self._assignments[position] = new_cell
             self._cell_arrays.pop(old_cell, None)
             self._cell_arrays.pop(new_cell, None)
+        self._assignments[positions] = new_cells
+
+    def add(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> "IVFIndex":
+        """Append new rows, assigning each to its nearest existing cell.
+
+        Centroids are *not* re-trained (the Faiss convention for streaming
+        adds); ``ids`` default to the next row positions.
+        """
+
+        if self._vectors is None:
+            raise RuntimeError("index has not been built")
+        vectors = np.asarray(vectors, dtype=self.dtype)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        if vectors.ndim != 2 or vectors.shape[1] != self._vectors.shape[1]:
+            raise ValueError("vector dimensionality mismatch")
+        start = len(self._vectors)
+        new_ids = (
+            np.arange(start, start + len(vectors), dtype=np.int64)
+            if ids is None
+            else np.asarray(ids, dtype=np.int64)
+        )
+        if len(new_ids) != len(vectors):
+            raise ValueError("ids must match the number of vectors")
+        self._vectors = np.concatenate([self._vectors, vectors])
+        self._normalized = np.concatenate(
+            [self._normalized, normalize_rows(vectors).astype(self.dtype, copy=False)]
+        )
+        self._ids = np.concatenate([self._ids, new_ids])
+        cells = _squared_distances(
+            np.asarray(vectors, dtype=np.float64), self._centroids
+        ).argmin(axis=1)
+        self._assignments = np.concatenate([self._assignments, cells.astype(np.int64)])
+        for offset, cell in enumerate(cells):
+            cell = int(cell)
+            self._cells.setdefault(cell, set()).add(start + offset)
+            self._cell_arrays.pop(cell, None)
+        return self
 
     # ------------------------------------------------------------------ #
     # querying

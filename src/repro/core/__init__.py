@@ -1,7 +1,7 @@
 """SCCF core: user-based component, integrating MLP, framework, real-time server."""
 
 from .merger import CandidateFeatures, IntegratingMLP, normalize_scores
-from .realtime import LatencyBreakdown, RealTimeServer
+from .realtime import EventBuffer, LatencyBreakdown, RealTimeServer
 from .sccf import SCCF, SCCFConfig
 from .user_neighborhood import UserNeighborhoodComponent
 
@@ -14,4 +14,5 @@ __all__ = [
     "SCCFConfig",
     "RealTimeServer",
     "LatencyBreakdown",
+    "EventBuffer",
 ]

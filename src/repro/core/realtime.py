@@ -9,33 +9,58 @@ milliseconds.  :class:`RealTimeServer` maintains, per user:
 * the neighbor index entry, updated in place so subsequent neighborhood
   queries see the new embedding.
 
-:meth:`observe` is the hot path the paper times in Table III; it reports the
-two components separately — "inferring time" (the UI forward pass) and
-"identifying time" (the similarity search) — so the latency benchmark can
-print the same rows as the paper.
+Two ingestion routes are exposed:
+
+* :meth:`RealTimeServer.observe` — the per-event hot path the paper times in
+  Table III; it reports "inferring time" (the UI forward pass) and
+  "identifying time" (the similarity search) separately so the latency
+  benchmark can print the same rows as the paper.
+* :meth:`RealTimeServer.observe_batch` — micro-batched ingestion: a whole
+  slice of the click stream is coalesced per user, all touched users'
+  embeddings are refreshed in one batched forward, the index rows are
+  replaced in one vectorized write, and the neighborhoods are re-identified
+  through one batched search.  ``observe`` is ``observe_batch`` with a batch
+  of one, so the two paths cannot drift.
+
+:class:`EventBuffer` sits in front of the server and turns an event-at-a-time
+producer (a clickstream, a message queue consumer) into micro-batches,
+flushing automatically every ``flush_size`` events.
+
+Cold-start users streamed in at serve time are *added* to the neighborhood
+pool (the index grows) instead of being silently excluded, so a brand-new
+user becomes retrievable as other users' neighbor after her first click.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..ann import search_batch
 from ..data.datasets import RecDataset
 from ..models.base import exclude_seen_items
-from .sccf import SCCF
+from .sccf import SCCF, _NEG_INF
 
-__all__ = ["LatencyBreakdown", "RealTimeServer"]
+__all__ = ["LatencyBreakdown", "RealTimeServer", "EventBuffer"]
 
 
 @dataclass
 class LatencyBreakdown:
-    """Per-event timing of the real-time update path (milliseconds)."""
+    """Timing of one ingestion call (milliseconds).
+
+    For the per-event path this is one event's breakdown; for a micro-batch
+    flush it is the total over the whole batch, with ``num_events`` recording
+    how many events the batch coalesced (so per-event averages stay
+    comparable across the two paths).
+    """
 
     inferring_ms: float
     identifying_ms: float
+    num_events: int = 1
 
     @property
     def total_ms(self) -> float:
@@ -49,17 +74,33 @@ class _UserState:
 
 
 class RealTimeServer:
-    """Streaming wrapper that keeps SCCF's user state fresh event by event."""
+    """Streaming wrapper that keeps SCCF's user state fresh event by event.
 
-    def __init__(self, sccf: SCCF, dataset: RecDataset) -> None:
+    Parameters
+    ----------
+    sccf:
+        A fitted :class:`~repro.core.sccf.SCCF` instance.
+    dataset:
+        The dataset the model was fitted on; its training histories seed the
+        per-user state.
+    latency_window:
+        Number of most recent ingestion breakdowns kept for
+        :meth:`average_latency`.  A long-running server observes an unbounded
+        stream, so the window is bounded (a plain list would be a memory
+        leak).
+    """
+
+    def __init__(self, sccf: SCCF, dataset: RecDataset, latency_window: int = 4096) -> None:
         if not getattr(sccf, "_fitted", False):
             raise ValueError("SCCF must be fitted before serving")
+        if latency_window <= 0:
+            raise ValueError("latency_window must be positive")
         self.sccf = sccf
         self.num_items = dataset.num_items
         self._states: Dict[int, _UserState] = {}
         for user, sequence in dataset.train.user_sequences().items():
             self._states[user] = _UserState(history=list(sequence))
-        self.latencies: List[LatencyBreakdown] = []
+        self.latencies: Deque[LatencyBreakdown] = deque(maxlen=latency_window)
 
     # ------------------------------------------------------------------ #
     # streaming updates
@@ -70,28 +111,105 @@ class RealTimeServer:
         Returns the latency breakdown of the two real-time steps.  The
         neighborhood *query* itself (identifying similar users) is measured
         here because the paper's Table III reports "identifying time" — the
-        cost of finding the β neighbors with the refreshed embedding.
+        cost of finding the β neighbors with the refreshed embedding.  This
+        is :meth:`observe_batch` with a batch of one.
         """
 
-        if not 0 <= item_id < self.num_items:
-            raise ValueError("item_id out of range")
-        state = self._states.setdefault(user_id, _UserState())
-        state.history.append(item_id)
+        breakdown = self.observe_batch([(user_id, item_id)])
+        assert breakdown is not None  # non-empty batch always returns a breakdown
+        return breakdown
+
+    def observe_batch(
+        self, events: Sequence[Tuple[int, int]]
+    ) -> Optional[LatencyBreakdown]:
+        """Ingest a micro-batch of ``(user_id, item_id)`` events at once.
+
+        Events are coalesced per user (preserving each user's arrival order),
+        then every touched user's state is refreshed with batched kernels:
+
+        1. one ``infer_user_embeddings_batch`` forward over the touched users,
+        2. one batched index row replacement (``update_users``), growing the
+           index first for users streamed in beyond the fitted id range
+           (``add_users``),
+        3. one batched neighborhood search over the fresh embeddings.
+
+        The final state is identical to feeding the same events one at a time
+        through :meth:`observe` — only the amortized cost differs.  Returns
+        the batch's latency breakdown, or ``None`` for an empty batch.
+        """
+
+        # The cold-start grow path backs streamed ids with a dense block, so a
+        # single huge id would allocate unboundedly much memory; reject it
+        # here, before any state is touched.
+        max_user_id = self.sccf.neighborhood.num_users + self.sccf.neighborhood.max_user_growth
+        validated: List[Tuple[int, int]] = []
+        for user_id, item_id in events:
+            user_id, item_id = int(user_id), int(item_id)
+            if user_id < 0:
+                raise ValueError("user_id must be non-negative")
+            if user_id >= max_user_id:
+                raise ValueError(
+                    "user_id too far beyond the fitted range "
+                    f"(cold-start growth capped at {self.sccf.neighborhood.max_user_growth})"
+                )
+            if not 0 <= item_id < self.num_items:
+                raise ValueError("item_id out of range")
+            validated.append((user_id, item_id))
+        if not validated:
+            return None
+
+        touched: List[int] = []
+        seen: set = set()
+        for user_id, item_id in validated:
+            self._states.setdefault(user_id, _UserState()).history.append(item_id)
+            if user_id not in seen:
+                seen.add(user_id)
+                touched.append(user_id)
+        histories = [self._states[user].history for user in touched]
 
         start = time.perf_counter()
-        embedding = self.sccf.ui_model.infer_user_embedding(state.history)
+        embeddings = np.asarray(
+            self.sccf.ui_model.infer_user_embeddings_batch(histories), dtype=np.float64
+        )
         inferring_ms = (time.perf_counter() - start) * 1000.0
+        for row, user in enumerate(touched):
+            self._states[user].embedding = embeddings[row]
 
-        state.embedding = embedding
-        if 0 <= user_id < self.sccf.neighborhood.num_users:
-            # keep the index in sync so this user can serve as others' neighbor
-            self.sccf.neighborhood.update_user(user_id, self.sccf.ui_model, state.history)
+        # Keep the index in sync so these users can serve as others' neighbors;
+        # cold-start users beyond the fitted range grow the pool.
+        neighborhood = self.sccf.neighborhood
+        pool_size = neighborhood.num_users
+        fresh = [row for row, user in enumerate(touched) if user >= pool_size]
+        known = [row for row, user in enumerate(touched) if user < pool_size]
+        if fresh:
+            neighborhood.add_users(
+                [touched[row] for row in fresh],
+                self.sccf.ui_model,
+                [histories[row] for row in fresh],
+                embeddings=embeddings[fresh],
+            )
+        if known:
+            neighborhood.update_users(
+                [touched[row] for row in known],
+                self.sccf.ui_model,
+                [histories[row] for row in known],
+                embeddings=embeddings[known],
+            )
 
         start = time.perf_counter()
-        self.sccf.neighborhood.neighbors(embedding, exclude_user=user_id)
+        search_batch(
+            neighborhood.index,
+            embeddings,
+            neighborhood.num_neighbors,
+            exclude_per_query=[np.asarray([user], dtype=np.int64) for user in touched],
+        )
         identifying_ms = (time.perf_counter() - start) * 1000.0
 
-        breakdown = LatencyBreakdown(inferring_ms=inferring_ms, identifying_ms=identifying_ms)
+        breakdown = LatencyBreakdown(
+            inferring_ms=inferring_ms,
+            identifying_ms=identifying_ms,
+            num_events=len(validated),
+        )
         self.latencies.append(breakdown)
         return breakdown
 
@@ -101,8 +219,13 @@ class RealTimeServer:
     def recommend(self, user_id: int, k: int = 50, exclude_seen: bool = True) -> List[int]:
         """Top-``k`` fused candidates for the user's *current* (streamed) history."""
 
+        if k <= 0:
+            return []
         state = self._states.get(user_id, _UserState())
         scores = self.sccf.score_items(user_id, history=state.history)
+        # In "sccf" mode non-candidates carry the finite _NEG_INF sentinel;
+        # mask them to -inf so they can never pad the result list.
+        scores = np.where(scores > _NEG_INF, scores, -np.inf)
         if exclude_seen:
             scores = exclude_seen_items(scores, state.history)
         k = min(k, self.num_items)
@@ -114,11 +237,82 @@ class RealTimeServer:
         return list(self._states.get(user_id, _UserState()).history)
 
     def average_latency(self) -> Optional[LatencyBreakdown]:
-        """Mean latency breakdown over all observed events (Table III rows)."""
+        """Per-event mean latency over the bounded window (Table III rows).
+
+        Batch entries are weighted by the number of events they coalesced, so
+        per-event and micro-batched ingestion report comparable numbers.
+        """
 
         if not self.latencies:
             return None
+        total_events = sum(entry.num_events for entry in self.latencies)
         return LatencyBreakdown(
-            inferring_ms=float(np.mean([l.inferring_ms for l in self.latencies])),
-            identifying_ms=float(np.mean([l.identifying_ms for l in self.latencies])),
+            inferring_ms=float(sum(entry.inferring_ms for entry in self.latencies)) / total_events,
+            identifying_ms=float(sum(entry.identifying_ms for entry in self.latencies))
+            / total_events,
         )
+
+
+class EventBuffer:
+    """Coalesces streamed ``(user, item)`` events into micro-batch flushes.
+
+    Producers push events one at a time; the buffer validates them eagerly
+    (so a malformed event fails at ``push``, not inside a later flush of
+    unrelated events) and hands the server one
+    :meth:`RealTimeServer.observe_batch` call per ``flush_size`` events.
+    Usable as a context manager — leftover events are flushed on exit:
+
+    >>> with EventBuffer(server, flush_size=256) as buffer:   # doctest: +SKIP
+    ...     for user, item in stream:
+    ...         buffer.push(user, item)
+    """
+
+    def __init__(self, server: RealTimeServer, flush_size: int = 256) -> None:
+        if flush_size <= 0:
+            raise ValueError("flush_size must be positive")
+        self.server = server
+        self.flush_size = flush_size
+        self._events: List[Tuple[int, int]] = []
+
+    def push(self, user_id: int, item_id: int) -> Optional[LatencyBreakdown]:
+        """Buffer one event; returns the flush breakdown if this push flushed."""
+
+        user_id, item_id = int(user_id), int(item_id)
+        if user_id < 0:
+            raise ValueError("user_id must be non-negative")
+        neighborhood = self.server.sccf.neighborhood
+        if user_id >= neighborhood.num_users + neighborhood.max_user_growth:
+            raise ValueError(
+                "user_id too far beyond the fitted range "
+                f"(cold-start growth capped at {neighborhood.max_user_growth})"
+            )
+        if not 0 <= item_id < self.server.num_items:
+            raise ValueError("item_id out of range")
+        self._events.append((user_id, item_id))
+        if len(self._events) >= self.flush_size:
+            return self.flush()
+        return None
+
+    def flush(self) -> Optional[LatencyBreakdown]:
+        """Drain the buffer through ``observe_batch``; ``None`` when empty."""
+
+        if not self._events:
+            return None
+        events, self._events = self._events, []
+        return self.server.observe_batch(events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def pending(self) -> List[Tuple[int, int]]:
+        """A copy of the not-yet-flushed events."""
+
+        return list(self._events)
+
+    def __enter__(self) -> "EventBuffer":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if exc_type is None:
+            self.flush()

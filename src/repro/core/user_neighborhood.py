@@ -31,7 +31,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ann import BruteForceIndex, NeighborIndex, search_batch
+from ..ann import BruteForceIndex, NeighborIndex, search_batch, update_batch
 from ..data.datasets import RecDataset
 from ..data.sequences import recent_window
 from ..models.base import InductiveUIModel
@@ -65,6 +65,11 @@ class UserNeighborhoodComponent:
         A neighbor-search index implementing :class:`repro.ann.NeighborIndex`.
         Defaults to exact cosine search; pass an
         :class:`~repro.ann.ivf.IVFIndex` for the approximate variant.
+    max_user_growth:
+        Upper bound on how many rows a single :meth:`add_users` call may
+        append (streamed ids are dense, so growth is backed by a dense zero
+        block — an unboundedly large id would otherwise allocate unboundedly
+        much memory from one malformed event).
     """
 
     def __init__(
@@ -72,13 +77,17 @@ class UserNeighborhoodComponent:
         num_neighbors: int = 100,
         recency_window: int = 15,
         index: Optional[NeighborIndex] = None,
+        max_user_growth: int = 10_000,
     ) -> None:
         if num_neighbors <= 0:
             raise ValueError("num_neighbors must be positive")
         if recency_window <= 0:
             raise ValueError("recency_window must be positive")
+        if max_user_growth <= 0:
+            raise ValueError("max_user_growth must be positive")
         self.num_neighbors = num_neighbors
         self.recency_window = recency_window
+        self.max_user_growth = max_user_growth
         self.index: NeighborIndex = index if index is not None else BruteForceIndex(metric="cosine")
         self.num_users: int = 0
         self.num_items: int = 0
@@ -310,26 +319,129 @@ class UserNeighborhoodComponent:
 
         Returns the new embedding.  This is the "infer user representations on
         the fly" step that distinguishes SCCF from transductive user-based
-        methods: cost is one UI forward pass plus an index row update.
+        methods: cost is one UI forward pass plus an index row update.  This
+        is :meth:`update_users` with a batch of one, so the streaming and
+        per-event maintenance paths cannot drift.
+        """
+
+        return self.update_users([user_id], ui_model, [history])[0]
+
+    def update_users(
+        self,
+        user_ids: Sequence[int],
+        ui_model: InductiveUIModel,
+        histories: Sequence[Sequence[int]],
+        embeddings: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched :meth:`update_user`: refresh many users' embeddings at once.
+
+        One ``infer_user_embeddings_batch`` forward (skipped when the caller
+        passes precomputed ``embeddings``), one batched index row replacement,
+        and a bulk recent-item overlay.  Returns the ``(U, dim)`` embeddings.
+        With duplicate user ids the last entry wins.
         """
 
         self._require_fitted()
-        if not 0 <= user_id < self.num_users:
-            raise ValueError("user_id out of range")
-        embedding = ui_model.infer_user_embedding(history)
-        self._user_embeddings[user_id] = embedding
-        self.index.update(user_id, embedding)
-        recent = recent_window(list(history), self.recency_window)
-        self._recent_items[user_id] = recent
-        if not self._recent_dirty:
-            # Overlay this user's row instead of invalidating the whole CSR;
-            # fold the overlays into a full rebuild only once they pile up.
-            self._recent_overrides[user_id] = np.asarray(
-                [item for item in recent if 0 <= item < self.num_items], dtype=np.int64
+        user_ids = [int(user) for user in user_ids]
+        if len(histories) != len(user_ids):
+            raise ValueError("histories must have one entry per user id")
+        for user in user_ids:
+            if not 0 <= user < self.num_users:
+                raise ValueError("user_id out of range")
+        embeddings = self._resolve_embeddings(user_ids, ui_model, histories, embeddings)
+        if not user_ids:
+            return embeddings
+        positions = np.asarray(user_ids, dtype=np.int64)
+        self._user_embeddings[positions] = embeddings
+        update_batch(self.index, positions, embeddings)
+        self._set_recent_items(user_ids, histories)
+        return embeddings
+
+    def add_users(
+        self,
+        user_ids: Sequence[int],
+        ui_model: InductiveUIModel,
+        histories: Sequence[Sequence[int]],
+        embeddings: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Grow the neighborhood pool with users beyond the fitted id range.
+
+        Cold-start users streamed in at serve time join the index instead of
+        being silently excluded: the embedding matrix and the index are
+        extended so the new users can serve as other users' neighbors.  Ids
+        must be ``>= num_users``; gaps between ``num_users`` and the largest
+        added id are filled with zero embeddings (an all-zero row has cosine
+        similarity 0 with everything, so gap users are never voted neighbors),
+        which assumes streamed ids stay reasonably dense.
+        """
+
+        self._require_fitted()
+        user_ids = [int(user) for user in user_ids]
+        if len(histories) != len(user_ids):
+            raise ValueError("histories must have one entry per user id")
+        for user in user_ids:
+            if user < self.num_users:
+                raise ValueError("add_users takes ids >= num_users; use update_users")
+            if user >= self.num_users + self.max_user_growth:
+                raise ValueError(
+                    "user_id too far beyond the fitted range "
+                    f"(growth capped at {self.max_user_growth} rows per call)"
+                )
+        embeddings = self._resolve_embeddings(user_ids, ui_model, histories, embeddings)
+        if not user_ids:
+            return embeddings
+        dim = self._user_embeddings.shape[1]
+        block = np.zeros((max(user_ids) + 1 - self.num_users, dim), dtype=np.float64)
+        for row, user in enumerate(user_ids):
+            block[user - self.num_users] = embeddings[row]
+        self._user_embeddings = np.concatenate([self._user_embeddings, block])
+        if hasattr(self.index, "add"):
+            self.index.add(block)
+        else:
+            # Third-party index without a grow path: rebuild from scratch.
+            self.index.build(self._user_embeddings)
+        self.num_users = len(self._user_embeddings)
+        self._set_recent_items(user_ids, histories)
+        return embeddings
+
+    def _resolve_embeddings(
+        self,
+        user_ids: Sequence[int],
+        ui_model: InductiveUIModel,
+        histories: Sequence[Sequence[int]],
+        embeddings: Optional[np.ndarray],
+    ) -> np.ndarray:
+        dim = self._user_embeddings.shape[1]
+        if embeddings is None:
+            if not user_ids:
+                return np.zeros((0, dim), dtype=np.float64)
+            return np.asarray(
+                ui_model.infer_user_embeddings_batch([list(history) for history in histories]),
+                dtype=np.float64,
             )
-            if len(self._recent_overrides) > max(64, self.num_users // 20):
-                self._recent_dirty = True
-        return embedding
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.shape != (len(user_ids), dim):
+            raise ValueError("embeddings must have one row of width dim per user id")
+        return embeddings
+
+    def _set_recent_items(self, user_ids: Sequence[int], histories: Sequence[Sequence[int]]) -> None:
+        """Refresh the recent-items table for a batch of users.
+
+        Rows land in ``_recent_overrides`` (consulted at scoring time) instead
+        of invalidating the whole CSR; the overlays are folded into a full
+        rebuild only once they pile up — same policy as the original
+        single-user path, applied per user in order.
+        """
+
+        for user, history in zip(user_ids, histories):
+            recent = recent_window(list(history), self.recency_window)
+            self._recent_items[user] = recent
+            if not self._recent_dirty:
+                self._recent_overrides[user] = np.asarray(
+                    [item for item in recent if 0 <= item < self.num_items], dtype=np.int64
+                )
+                if len(self._recent_overrides) > max(64, self.num_users // 20):
+                    self._recent_dirty = True
 
     def user_embedding(self, user_id: int) -> np.ndarray:
         self._require_fitted()

@@ -1,12 +1,13 @@
 """Online-behaviour simulation: drifting clickstreams and the A/B test harness."""
 
 from .ab_test import ABTestConfig, ABTestHarness, ABTestResult, BucketOutcome
-from .clickstream import ClickstreamConfig, ClickstreamSimulator, simulate_clickstream
+from .clickstream import ClickstreamConfig, ClickstreamSimulator, replay_log, simulate_clickstream
 
 __all__ = [
     "ClickstreamConfig",
     "ClickstreamSimulator",
     "simulate_clickstream",
+    "replay_log",
     "ABTestConfig",
     "ABTestHarness",
     "ABTestResult",

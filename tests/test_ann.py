@@ -295,3 +295,110 @@ class TestIVFIndex:
             approx_ids, _ = index.search(query, k=10)
             exact_ids, _ = exact.search(query, k=10)
             np.testing.assert_array_equal(np.sort(approx_ids), np.sort(exact_ids))
+
+
+class TestIndexGrowth:
+    """`add` / `update_batch` — the streaming-ingestion surface of both indexes."""
+
+    def test_brute_force_add_grows_and_is_searchable(self, rng):
+        vectors = rng.normal(size=(10, 4))
+        index = BruteForceIndex().build(vectors)
+        extra = rng.normal(size=(3, 4))
+        index.add(extra)
+        assert index.size == 13
+        for offset in range(3):
+            ids, _ = index.search(extra[offset], k=1)
+            assert ids[0] == 10 + offset
+
+    def test_brute_force_add_requires_build(self, rng):
+        with pytest.raises(RuntimeError):
+            BruteForceIndex().add(rng.normal(size=(2, 3)))
+
+    def test_brute_force_add_dimension_mismatch(self, rng):
+        index = BruteForceIndex().build(rng.normal(size=(4, 3)))
+        with pytest.raises(ValueError):
+            index.add(rng.normal(size=(2, 5)))
+
+    def test_brute_force_update_batch_matches_sequential(self, rng):
+        vectors = rng.normal(size=(12, 5))
+        sequential = BruteForceIndex().build(vectors)
+        batched = BruteForceIndex().build(vectors)
+        positions = np.asarray([2, 7, 9])
+        replacements = rng.normal(size=(3, 5))
+        for position, vector in zip(positions, replacements):
+            sequential.update(int(position), vector)
+        batched.update_batch(positions, replacements)
+        np.testing.assert_array_equal(sequential._vectors, batched._vectors)
+        np.testing.assert_array_equal(sequential._normalized, batched._normalized)
+
+    def test_brute_force_update_batch_errors(self, rng):
+        index = BruteForceIndex().build(rng.normal(size=(4, 3)))
+        with pytest.raises(ValueError):
+            index.update_batch([0, 1], rng.normal(size=(1, 3)))  # row count mismatch
+        with pytest.raises(ValueError):
+            index.update_batch([9], rng.normal(size=(1, 3)))  # out of range
+
+    def test_ivf_add_grows_and_partitions_cells(self, rng):
+        vectors = rng.normal(size=(30, 4))
+        index = IVFIndex(num_cells=4, n_probe=4, rng=rng).build(vectors)
+        extra = rng.normal(size=(5, 4))
+        index.add(extra)
+        assert index.size == 35
+        members = sorted(position for cell in index._cells.values() for position in cell)
+        assert members == list(range(35))
+        for offset in range(5):
+            ids, _ = index.search(extra[offset], k=1)
+            assert ids[0] == 30 + offset
+
+    def test_ivf_update_batch_matches_sequential(self, rng):
+        vectors = rng.normal(size=(40, 4))
+        sequential = IVFIndex(num_cells=4, n_probe=4, rng=np.random.default_rng(3)).build(vectors)
+        batched = IVFIndex(num_cells=4, n_probe=4, rng=np.random.default_rng(3)).build(vectors)
+        positions = np.asarray([0, 13, 27])
+        replacements = rng.normal(size=(3, 4)) * 3
+        for position, vector in zip(positions, replacements):
+            sequential.update(int(position), vector)
+        batched.update_batch(positions, replacements)
+        np.testing.assert_array_equal(sequential._vectors, batched._vectors)
+        np.testing.assert_array_equal(sequential._assignments, batched._assignments)
+        assert sequential._cells == batched._cells
+        members = sorted(position for cell in batched._cells.values() for position in cell)
+        assert members == list(range(40))
+
+    def test_ivf_update_batch_duplicate_positions_last_wins(self, rng):
+        """Duplicated positions must not leave a row a member of two cells."""
+
+        vectors = rng.normal(size=(40, 4))
+        index = IVFIndex(num_cells=4, n_probe=4, rng=np.random.default_rng(3)).build(vectors)
+        first, last = rng.normal(size=4) * 5, -rng.normal(size=4) * 5
+        index.update_batch(np.asarray([5, 5]), np.stack([first, last]))
+        members = sorted(position for cell in index._cells.values() for position in cell)
+        assert members == list(range(40))  # cells still partition every row exactly once
+        np.testing.assert_array_equal(index._vectors[5], np.asarray(last, dtype=index.dtype))
+        expected = IVFIndex(num_cells=4, n_probe=4, rng=np.random.default_rng(3)).build(vectors)
+        expected.update(5, last)
+        assert index._assignments[5] == expected._assignments[5]
+
+    def test_update_batch_helper_falls_back_to_loop(self, rng):
+        from repro.ann import update_batch
+
+        class SingleRowIndex:
+            """Minimal third-party index: only the single-row protocol."""
+
+            def __init__(self):
+                self.calls = []
+
+            def build(self, vectors, ids=None):
+                return self
+
+            def search(self, query, k, exclude=None):
+                return np.empty(0, dtype=np.int64), np.empty(0)
+
+            def update(self, position, vector):
+                self.calls.append((position, np.asarray(vector).copy()))
+
+        index = SingleRowIndex()
+        replacements = rng.normal(size=(2, 3))
+        update_batch(index, [4, 8], replacements)
+        assert [position for position, _ in index.calls] == [4, 8]
+        np.testing.assert_array_equal(index.calls[1][1], replacements[1])

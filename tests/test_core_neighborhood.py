@@ -130,6 +130,51 @@ class TestRealtimeUpdate:
         with pytest.raises(ValueError):
             component.update_user(10**6, trained_fism, [0, 1])
 
+    def test_update_users_matches_sequential(self, tiny_dataset, trained_fism):
+        sequential = UserNeighborhoodComponent(num_neighbors=5, recency_window=3).fit(
+            trained_fism, tiny_dataset
+        )
+        batched = UserNeighborhoodComponent(num_neighbors=5, recency_window=3).fit(
+            trained_fism, tiny_dataset
+        )
+        users = [int(user) for user in tiny_dataset.evaluation_users()[:4]]
+        histories = [tiny_dataset.train.user_sequence(user) + [0, 1] for user in users]
+        for user, history in zip(users, histories):
+            sequential.update_user(user, trained_fism, history)
+        batched.update_users(users, trained_fism, histories)
+        np.testing.assert_array_equal(sequential._user_embeddings, batched._user_embeddings)
+        np.testing.assert_array_equal(
+            sequential.index._normalized, batched.index._normalized
+        )
+        for user in users:
+            assert sequential.recent_items(user) == batched.recent_items(user)
+
+    def test_update_users_validates(self, tiny_dataset, trained_fism):
+        component = UserNeighborhoodComponent(num_neighbors=3).fit(trained_fism, tiny_dataset)
+        with pytest.raises(ValueError):
+            component.update_users([0, 1], trained_fism, [[0]])  # history count mismatch
+        with pytest.raises(ValueError):
+            component.update_users([component.num_users], trained_fism, [[0]])
+
+    def test_add_users_rejects_fitted_range_ids(self, tiny_dataset, trained_fism):
+        component = UserNeighborhoodComponent(num_neighbors=3).fit(trained_fism, tiny_dataset)
+        with pytest.raises(ValueError):
+            component.add_users([0], trained_fism, [[0, 1]])
+
+    def test_add_users_grows_pool(self, tiny_dataset, trained_fism):
+        component = UserNeighborhoodComponent(num_neighbors=3).fit(trained_fism, tiny_dataset)
+        base = component.num_users
+        embeddings = component.add_users([base, base + 2], trained_fism, [[0, 1], [2, 3]])
+        assert component.num_users == base + 3
+        assert component.index.size == base + 3
+        assert embeddings.shape == (2, trained_fism.embedding_dim)
+        np.testing.assert_allclose(
+            component.user_embedding(base), trained_fism.infer_user_embedding([0, 1])
+        )
+        assert component.recent_items(base + 2) == [2, 3]
+        # the gap user exists but has a zero embedding
+        assert not component.user_embedding(base + 1).any()
+
 
 class TestAlternativeIndex:
     def test_ivf_index_supported(self, tiny_dataset, trained_fism):

@@ -45,11 +45,25 @@ class TestObserve:
         with pytest.raises(ValueError):
             server.observe(0, tiny_dataset.num_items + 10)
 
-    def test_observe_unknown_user_creates_state(self, fitted_sccf, tiny_dataset):
-        server = RealTimeServer(fitted_sccf, tiny_dataset)
+    def test_observe_unknown_user_creates_state(self, tiny_dataset, trained_fism):
+        # Own SCCF instance: cold-start growth would otherwise permanently
+        # inflate the session-scoped fitted_sccf fixture shared by other tests.
+        sccf = SCCF(
+            trained_fism,
+            SCCFConfig(num_neighbors=10, candidate_list_size=30, merger_epochs=3, seed=3),
+        ).fit(tiny_dataset, fit_ui_model=False)
+        server = RealTimeServer(sccf, tiny_dataset)
         new_user = tiny_dataset.num_users + 100
         server.observe(new_user, 1)
         assert server.history(new_user) == [1]
+        # cold-start growth: the new user joined the neighborhood pool
+        assert sccf.neighborhood.num_users == new_user + 1
+        assert sccf.neighborhood.recent_items(new_user) == [1]
+
+    def test_observe_negative_user(self, fitted_sccf, tiny_dataset):
+        server = RealTimeServer(fitted_sccf, tiny_dataset)
+        with pytest.raises(ValueError):
+            server.observe(-5, 0)
 
     def test_average_latency(self, fitted_sccf, tiny_dataset):
         server = RealTimeServer(fitted_sccf, tiny_dataset)
