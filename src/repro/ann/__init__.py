@@ -5,13 +5,16 @@ from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 import numpy as np
 
 from .brute_force import BruteForceIndex, top_k_rows
-from .ivf import IVFIndex, kmeans
+from .ivf import DEFAULT_RETRAIN_THRESHOLD, IVFIndex, kmeans
 from .metrics import cosine_similarity, inner_product, normalize_rows, pairwise_similarity
+from .sharded import ShardedIndex
 
 __all__ = [
     "NeighborIndex",
     "BruteForceIndex",
     "IVFIndex",
+    "ShardedIndex",
+    "DEFAULT_RETRAIN_THRESHOLD",
     "kmeans",
     "top_k_rows",
     "search_batch",

@@ -29,14 +29,37 @@ __all__ = ["BruteForceIndex", "top_k_rows"]
 _SUPPORTED_DTYPES = (np.float32, np.float64)
 
 
+def check_new_ids(existing: Optional[np.ndarray], new_ids: np.ndarray) -> None:
+    """Reject id collisions: duplicate ids break per-query exclusion masking.
+
+    ``apply_exclusions`` masks by id equality, so two rows sharing an id can
+    never be excluded independently — an ``exclude=[u]`` meant for the stale
+    row would silently hide the fresh one too.  Raises ``ValueError`` when
+    ``new_ids`` contains internal duplicates or collides with ``existing``.
+    """
+
+    if len(np.unique(new_ids)) != len(new_ids):
+        raise ValueError("ids must be unique (duplicate ids break exclusion masking)")
+    if existing is not None and len(existing) and np.isin(new_ids, existing).any():
+        raise ValueError(
+            "ids collide with ids already in the index "
+            "(duplicate ids break exclusion masking)"
+        )
+
+
 def top_k_rows(
     scores: np.ndarray, k: int, ids: np.ndarray
 ) -> List[Tuple[np.ndarray, np.ndarray]]:
     """Row-wise top-``k`` of a ``(Q, N)`` score matrix, -inf entries dropped.
 
-    Returns one ``(ids, scores)`` pair per row, sorted by descending score
-    with stable tie order, matching the single-query contract of
-    :meth:`BruteForceIndex.search`.
+    Returns one ``(ids, scores)`` pair per row, sorted by descending score.
+    Ties are broken *deterministically* by ascending column (= index
+    position): equal-score candidates appear in column order, and when the
+    k-th place falls inside a tie group the lowest columns win.  Determinism
+    is what lets a sharded scatter-gather merge reproduce this function's
+    output exactly — e.g. the all-zero gap embeddings ``add_users`` creates
+    score an exact 0.0 against every query, and an argpartition-arbitrary
+    tie order would let sharded and unsharded serving drift on them.
     """
 
     if scores.ndim != 2:
@@ -47,8 +70,25 @@ def top_k_rows(
             (np.empty(0, dtype=np.int64), np.empty(0, dtype=scores.dtype))
             for _ in range(len(scores))
         ]
-    part = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+    # argpartition selects *some* k best per row; sorting the selected columns
+    # ascending fixes the tie order inside the selection.
+    part = np.sort(np.argpartition(-scores, kth=k - 1, axis=1)[:, :k], axis=1)
     part_scores = np.take_along_axis(scores, part, axis=1)
+    # Boundary repair: when the k-th score also occurs outside the selection,
+    # argpartition's choice among the tied columns is arbitrary — replace the
+    # selected tied columns with the lowest tied columns of the whole row.
+    cutoff = part_scores.min(axis=1)
+    tied_total = np.count_nonzero(scores == cutoff[:, None], axis=1)
+    tied_selected = np.count_nonzero(part_scores == cutoff[:, None], axis=1)
+    # A -inf cutoff means the boundary ties are all masked-out entries that
+    # the isfinite drop below discards anyway — skip the wasted repair.
+    for row in np.nonzero((tied_total > tied_selected) & np.isfinite(cutoff))[0]:
+        above = part[row][part_scores[row] > cutoff[row]]
+        tied_columns = np.nonzero(scores[row] == cutoff[row])[0]
+        chosen = np.concatenate([above, tied_columns[: k - len(above)]])
+        chosen.sort()
+        part[row] = chosen
+        part_scores[row] = scores[row][chosen]
     order = np.argsort(-part_scores, axis=1, kind="stable")
     top = np.take_along_axis(part, order, axis=1)
     top_scores = np.take_along_axis(part_scores, order, axis=1)
@@ -123,6 +163,8 @@ class BruteForceIndex:
         vectors = np.asarray(vectors, dtype=self.dtype)
         if vectors.ndim != 2:
             raise ValueError("vectors must be a 2-d array")
+        if len(vectors) == 0:
+            raise ValueError("cannot build an index from zero vectors")
         self._vectors = vectors.copy()
         if self.metric == "cosine":
             self._normalized = normalize_rows(vectors).astype(self.dtype, copy=False)
@@ -135,6 +177,7 @@ class BruteForceIndex:
         )
         if len(self._ids) != len(vectors):
             raise ValueError("ids must match the number of vectors")
+        check_new_ids(None, self._ids)
         return self
 
     def update(self, position: int, vector: np.ndarray) -> None:
@@ -191,6 +234,7 @@ class BruteForceIndex:
         )
         if len(new_ids) != len(vectors):
             raise ValueError("ids must match the number of vectors")
+        check_new_ids(self._ids, new_ids)
         self._vectors = np.concatenate([self._vectors, vectors])
         if self.metric == "cosine":
             self._normalized = np.concatenate(

@@ -25,10 +25,14 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from .brute_force import _SUPPORTED_DTYPES, apply_exclusions, top_k_rows
+from .brute_force import _SUPPORTED_DTYPES, apply_exclusions, check_new_ids, top_k_rows
 from .metrics import normalize_rows
 
-__all__ = ["IVFIndex", "kmeans"]
+__all__ = ["IVFIndex", "kmeans", "DEFAULT_RETRAIN_THRESHOLD"]
+
+#: Imbalance (max/mean cell size) past which maintenance should re-cluster.
+#: 3.0 means the fullest cell scans 3x the candidates the build promised.
+DEFAULT_RETRAIN_THRESHOLD = 3.0
 
 
 def _squared_distances(vectors: np.ndarray, centroids: np.ndarray) -> np.ndarray:
@@ -62,6 +66,8 @@ def kmeans(
     if vectors.ndim != 2:
         raise ValueError("vectors must be 2-d")
     num_points = len(vectors)
+    if num_points == 0:
+        raise ValueError("cannot run k-means on zero vectors")
     num_clusters = min(num_clusters, num_points)
     if num_clusters <= 0:
         raise ValueError("num_clusters must be positive")
@@ -95,15 +101,19 @@ class IVFIndex:
         n_probe: int = 3,
         rng: Optional[np.random.Generator] = None,
         dtype: np.dtype = np.float32,
+        retrain_threshold: Optional[float] = None,
     ) -> None:
         if num_cells <= 0 or n_probe <= 0:
             raise ValueError("num_cells and n_probe must be positive")
         dtype = np.dtype(dtype)
         if dtype.type not in _SUPPORTED_DTYPES:
             raise ValueError("dtype must be float32 or float64")
+        if retrain_threshold is not None and retrain_threshold < 1.0:
+            raise ValueError("retrain_threshold must be >= 1 (1 means perfectly balanced)")
         self.num_cells = num_cells
         self.n_probe = n_probe
         self.dtype = dtype
+        self.retrain_threshold = retrain_threshold
         self._rng = rng or np.random.default_rng(0)
         self._vectors: Optional[np.ndarray] = None
         self._normalized: Optional[np.ndarray] = None
@@ -121,6 +131,8 @@ class IVFIndex:
         vectors = np.asarray(vectors, dtype=self.dtype)
         if vectors.ndim != 2:
             raise ValueError("vectors must be a 2-d array")
+        if len(vectors) == 0:
+            raise ValueError("cannot build an index from zero vectors")
         self._vectors = vectors.copy()
         self._normalized = normalize_rows(vectors).astype(self.dtype, copy=False)
         self._ids = (
@@ -130,12 +142,55 @@ class IVFIndex:
         )
         if len(self._ids) != len(vectors):
             raise ValueError("ids must match the number of vectors")
-        cells = min(self.num_cells, len(vectors))
-        self._centroids, self._assignments = kmeans(vectors, cells, rng=self._rng)
+        check_new_ids(None, self._ids)
+        self._recluster(num_iterations=20)
+        return self
+
+    def _recluster(self, num_iterations: int) -> None:
+        """(Re)run k-means over the current rows and rebuild the cell structures."""
+
+        cells = min(self.num_cells, len(self._vectors))
+        self._centroids, self._assignments = kmeans(
+            self._vectors, cells, num_iterations=num_iterations, rng=self._rng
+        )
         self._cells = {}
         for position, cell in enumerate(self._assignments):
             self._cells.setdefault(int(cell), set()).add(position)
         self._cell_arrays = {}
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def imbalance(self) -> float:
+        """Max/mean cell size — 1.0 is perfectly balanced, higher is skewed.
+
+        Streaming :meth:`add` assigns rows to frozen centroids, so a drifting
+        stream piles rows into a few cells; probes of those cells then scan
+        far more candidates than the build-time balance promised.  The mean is
+        taken over all trained centroids (empty cells included), matching the
+        cost model: a probe's expected scan size is ``N / num_cells``.
+        """
+
+        if self._vectors is None:
+            raise RuntimeError("index has not been built")
+        mean_size = len(self._vectors) / len(self._centroids)
+        max_size = max(
+            (len(members) for members in self._cells.values() if members), default=0
+        )
+        return max_size / mean_size
+
+    def retrain(self, num_iterations: int = 20) -> "IVFIndex":
+        """Re-run k-means over the *current* rows, preserving ids and vectors.
+
+        This is the periodic IVF maintenance step production systems run once
+        streamed adds have skewed the cell balance: centroids move to match
+        the live data distribution, every row is reassigned, and the id set
+        is untouched — only the cell partition changes.
+        """
+
+        if self._vectors is None:
+            raise RuntimeError("index has not been built")
+        self._recluster(num_iterations=num_iterations)
         return self
 
     def _cell_positions(self, cell: int) -> np.ndarray:
@@ -206,8 +261,10 @@ class IVFIndex:
     def add(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> "IVFIndex":
         """Append new rows, assigning each to its nearest existing cell.
 
-        Centroids are *not* re-trained (the Faiss convention for streaming
-        adds); ``ids`` default to the next row positions.
+        Centroids are *not* moved by the append itself (the Faiss convention
+        for streaming adds); ``ids`` default to the next row positions.  When
+        ``retrain_threshold`` is set and the append pushes :meth:`imbalance`
+        past it, a full :meth:`retrain` runs before returning.
         """
 
         if self._vectors is None:
@@ -225,6 +282,7 @@ class IVFIndex:
         )
         if len(new_ids) != len(vectors):
             raise ValueError("ids must match the number of vectors")
+        check_new_ids(self._ids, new_ids)
         self._vectors = np.concatenate([self._vectors, vectors])
         self._normalized = np.concatenate(
             [self._normalized, normalize_rows(vectors).astype(self.dtype, copy=False)]
@@ -238,6 +296,8 @@ class IVFIndex:
             cell = int(cell)
             self._cells.setdefault(cell, set()).add(start + offset)
             self._cell_arrays.pop(cell, None)
+        if self.retrain_threshold is not None and self.imbalance() > self.retrain_threshold:
+            self.retrain()
         return self
 
     # ------------------------------------------------------------------ #

@@ -1,7 +1,7 @@
 """SCCF core: user-based component, integrating MLP, framework, real-time server."""
 
 from .merger import CandidateFeatures, IntegratingMLP, normalize_scores
-from .realtime import EventBuffer, LatencyBreakdown, RealTimeServer
+from .realtime import EventBuffer, LatencyBreakdown, MaintenanceReport, RealTimeServer
 from .sccf import SCCF, SCCFConfig
 from .user_neighborhood import UserNeighborhoodComponent
 
@@ -14,5 +14,6 @@ __all__ = [
     "SCCFConfig",
     "RealTimeServer",
     "LatencyBreakdown",
+    "MaintenanceReport",
     "EventBuffer",
 ]

@@ -40,12 +40,12 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ann import search_batch
+from ..ann import DEFAULT_RETRAIN_THRESHOLD, search_batch
 from ..data.datasets import RecDataset
 from ..models.base import exclude_seen_items
 from .sccf import SCCF, _NEG_INF
 
-__all__ = ["LatencyBreakdown", "RealTimeServer", "EventBuffer"]
+__all__ = ["LatencyBreakdown", "MaintenanceReport", "RealTimeServer", "EventBuffer"]
 
 
 @dataclass
@@ -65,6 +65,23 @@ class LatencyBreakdown:
     @property
     def total_ms(self) -> float:
         return self.inferring_ms + self.identifying_ms
+
+
+@dataclass
+class MaintenanceReport:
+    """Outcome of one :meth:`RealTimeServer.maintain` pass.
+
+    ``supported`` is ``False`` when the neighbor index has no maintenance
+    surface (e.g. a plain brute-force index — nothing to re-cluster);
+    imbalance fields are then ``None``.
+    """
+
+    supported: bool
+    retrained: bool = False
+    imbalance_before: Optional[float] = None
+    imbalance_after: Optional[float] = None
+    threshold: Optional[float] = None
+    duration_ms: float = 0.0
 
 
 @dataclass
@@ -212,6 +229,46 @@ class RealTimeServer:
         )
         self.latencies.append(breakdown)
         return breakdown
+
+    # ------------------------------------------------------------------ #
+    # index maintenance (off the hot path)
+    # ------------------------------------------------------------------ #
+    def maintain(self, imbalance_threshold: Optional[float] = None) -> MaintenanceReport:
+        """Re-cluster the neighbor index if streamed adds have skewed it.
+
+        Streaming :meth:`observe` appends cold-start users to whichever IVF
+        cells the *frozen* centroids pick, so a long-running server degrades
+        toward a few giant cells.  This hook is meant to run off the hot path
+        (a periodic timer, an idle worker): it checks the index's
+        ``imbalance()`` statistic and triggers a full ``retrain()`` when it
+        exceeds the threshold — ``imbalance_threshold`` if given, else the
+        index's own ``retrain_threshold``, else
+        :data:`~repro.ann.ivf.DEFAULT_RETRAIN_THRESHOLD`.  Retraining
+        preserves ids and vectors, so serving results only change in which
+        cells a query probes.  No-op (``supported=False``) for indexes
+        without a maintenance surface, e.g. brute force.
+        """
+
+        index = self.sccf.neighborhood.index
+        if not (hasattr(index, "imbalance") and hasattr(index, "retrain")):
+            return MaintenanceReport(supported=False)
+        if imbalance_threshold is None:
+            imbalance_threshold = getattr(index, "retrain_threshold", None)
+        if imbalance_threshold is None:
+            imbalance_threshold = DEFAULT_RETRAIN_THRESHOLD
+        start = time.perf_counter()
+        before = index.imbalance()
+        retrained = before > imbalance_threshold
+        if retrained:
+            index.retrain()
+        return MaintenanceReport(
+            supported=True,
+            retrained=retrained,
+            imbalance_before=before,
+            imbalance_after=index.imbalance() if retrained else before,
+            threshold=imbalance_threshold,
+            duration_ms=(time.perf_counter() - start) * 1000.0,
+        )
 
     # ------------------------------------------------------------------ #
     # serving

@@ -45,6 +45,9 @@ class SCCFConfig:
     ``candidate_list_size`` is N, the length of each of the two candidate
     lists handed to the integrating component; the online deployment uses 500,
     offline evaluation needs at least the largest k reported (100).
+    ``num_shards > 1`` partitions the user-neighbor index across that many
+    scatter-gather shards with a threaded fan-out (bit-identical results,
+    lower per-worker load — the in-process rehearsal of multi-worker serving).
     """
 
     num_neighbors: int = 100
@@ -54,6 +57,7 @@ class SCCFConfig:
     merger_epochs: int = 80
     merger_learning_rate: float = 0.003
     merger_batch_size: int = 256
+    num_shards: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -63,6 +67,8 @@ class SCCFConfig:
             raise ValueError("candidate_list_size must be positive")
         if self.recency_window <= 0:
             raise ValueError("recency_window must be positive")
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
 
 
 class SCCF(Recommender):
@@ -78,10 +84,16 @@ class SCCF(Recommender):
             raise TypeError("SCCF requires an inductive UI model (FISM, SASRec, YouTubeDNN, ...)")
         self.ui_model = ui_model
         self.config = config or SCCFConfig()
+        if neighbor_index is not None and self.config.num_shards > 1:
+            raise ValueError(
+                "pass either an explicit neighbor_index or num_shards > 1, not both "
+                "(an explicit index would silently serve unsharded)"
+            )
         self.neighborhood = UserNeighborhoodComponent(
             num_neighbors=self.config.num_neighbors,
             recency_window=self.config.recency_window,
             index=neighbor_index,
+            num_shards=self.config.num_shards,
         )
         self.merger: Optional[IntegratingMLP] = None
         self.mode: str = "sccf"

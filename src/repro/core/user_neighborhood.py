@@ -27,11 +27,11 @@ batch of users through the index's ``search_batch``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ann import BruteForceIndex, NeighborIndex, search_batch, update_batch
+from ..ann import BruteForceIndex, NeighborIndex, ShardedIndex, search_batch, update_batch
 from ..data.datasets import RecDataset
 from ..data.sequences import recent_window
 from ..models.base import InductiveUIModel
@@ -64,7 +64,17 @@ class UserNeighborhoodComponent:
     index:
         A neighbor-search index implementing :class:`repro.ann.NeighborIndex`.
         Defaults to exact cosine search; pass an
-        :class:`~repro.ann.ivf.IVFIndex` for the approximate variant.
+        :class:`~repro.ann.ivf.IVFIndex` for the approximate variant.  Takes
+        precedence over ``index_factory``/``num_shards``.
+    index_factory:
+        Zero-argument callable producing a fresh backend index.  With
+        ``num_shards == 1`` it builds the index itself; with
+        ``num_shards > 1`` it builds each shard of a
+        :class:`~repro.ann.sharded.ShardedIndex`.
+    num_shards:
+        Partition the user index across this many scatter-gather shards
+        (threaded fan-out, one worker per shard).  ``1`` (default) keeps the
+        single-index layout.
     max_user_growth:
         Upper bound on how many rows a single :meth:`add_users` call may
         append (streamed ids are dense, so growth is backed by a dense zero
@@ -78,6 +88,8 @@ class UserNeighborhoodComponent:
         recency_window: int = 15,
         index: Optional[NeighborIndex] = None,
         max_user_growth: int = 10_000,
+        index_factory: Optional[Callable[[], NeighborIndex]] = None,
+        num_shards: int = 1,
     ) -> None:
         if num_neighbors <= 0:
             raise ValueError("num_neighbors must be positive")
@@ -85,10 +97,21 @@ class UserNeighborhoodComponent:
             raise ValueError("recency_window must be positive")
         if max_user_growth <= 0:
             raise ValueError("max_user_growth must be positive")
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
         self.num_neighbors = num_neighbors
         self.recency_window = recency_window
         self.max_user_growth = max_user_growth
-        self.index: NeighborIndex = index if index is not None else BruteForceIndex(metric="cosine")
+        if index is not None:
+            self.index: NeighborIndex = index
+        elif num_shards > 1:
+            self.index = ShardedIndex(
+                num_shards=num_shards, shard_factory=index_factory, num_threads=num_shards
+            )
+        elif index_factory is not None:
+            self.index = index_factory()
+        else:
+            self.index = BruteForceIndex(metric="cosine")
         self.num_users: int = 0
         self.num_items: int = 0
         self._user_embeddings: Optional[np.ndarray] = None

@@ -161,14 +161,20 @@ def make_sccf(
     ui_model: InductiveUIModel,
     scale: ExperimentScale,
     num_neighbors: Optional[int] = None,
+    num_shards: int = 1,
 ) -> SCCF:
-    """Wrap a UI model in the SCCF framework with the scale's settings."""
+    """Wrap a UI model in the SCCF framework with the scale's settings.
+
+    ``num_shards > 1`` serves the user-neighbor index through a scatter-gather
+    :class:`~repro.ann.sharded.ShardedIndex` (same results, sharded load).
+    """
 
     config = SCCFConfig(
         num_neighbors=num_neighbors or scale.num_neighbors,
         candidate_list_size=scale.candidate_list_size,
         recency_window=15,
         merger_epochs=scale.merger_epochs,
+        num_shards=num_shards,
         seed=scale.seed,
     )
     return SCCF(ui_model, config)

@@ -379,6 +379,40 @@ class TestIndexGrowth:
         expected.update(5, last)
         assert index._assignments[5] == expected._assignments[5]
 
+    def test_brute_force_add_rejects_colliding_ids(self, rng):
+        """Duplicate ids break per-query exclusion masking; add must refuse them."""
+
+        index = BruteForceIndex().build(rng.normal(size=(5, 3)))
+        with pytest.raises(ValueError, match="collide"):
+            index.add(rng.normal(size=(1, 3)), ids=np.array([2]))
+        with pytest.raises(ValueError, match="unique"):
+            index.add(rng.normal(size=(2, 3)), ids=np.array([8, 8]))
+        assert index.size == 5  # failed adds must not grow the index
+
+    def test_ivf_add_rejects_colliding_ids(self, rng):
+        index = IVFIndex(num_cells=2, n_probe=2, rng=rng).build(rng.normal(size=(8, 3)))
+        with pytest.raises(ValueError, match="collide"):
+            index.add(rng.normal(size=(1, 3)), ids=np.array([0]))
+        with pytest.raises(ValueError, match="unique"):
+            index.add(rng.normal(size=(2, 3)), ids=np.array([9, 9]))
+        assert index.size == 8
+        members = sorted(p for cell in index._cells.values() for p in cell)
+        assert members == list(range(8))
+
+    def test_build_rejects_duplicate_ids(self, rng):
+        with pytest.raises(ValueError, match="unique"):
+            BruteForceIndex().build(rng.normal(size=(3, 2)), ids=np.array([1, 2, 1]))
+        with pytest.raises(ValueError, match="unique"):
+            IVFIndex(num_cells=2).build(rng.normal(size=(3, 2)), ids=np.array([1, 2, 1]))
+
+    def test_default_add_ids_after_custom_build_ids_may_collide(self, rng):
+        """Default add ids continue the positional numbering; a custom build id
+        sitting on that range is now caught instead of silently duplicated."""
+
+        index = BruteForceIndex().build(rng.normal(size=(2, 3)), ids=np.array([2, 10]))
+        with pytest.raises(ValueError, match="collide"):
+            index.add(rng.normal(size=(1, 3)))  # default id would be 2
+
     def test_update_batch_helper_falls_back_to_loop(self, rng):
         from repro.ann import update_batch
 

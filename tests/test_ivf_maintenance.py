@@ -1,0 +1,158 @@
+"""IVF maintenance: imbalance statistic, retrain, auto-retrain, recall floors.
+
+The scenario these pin is the ROADMAP's "periodic IVF re-clustering once
+streamed adds skew the cell balance": streaming ``add`` assigns rows to
+frozen centroids, so a drifted stream piles rows into a few cells;
+``retrain()`` re-runs k-means over the live rows (ids untouched) and restores
+the balance the build promised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann import (
+    DEFAULT_RETRAIN_THRESHOLD,
+    BruteForceIndex,
+    IVFIndex,
+    kmeans,
+)
+
+#: Pinned recall floor for the fixed-seed configurations below (measured
+#: 0.73-0.75 at n_probe=4 of 16 cells; the floor leaves ulp-level slack only).
+RECALL_FLOOR = 0.70
+
+
+def _recall_at_10(approx: IVFIndex, exact: BruteForceIndex, queries: np.ndarray) -> float:
+    exact_results = exact.search_batch(queries, 10)
+    approx_results = approx.search_batch(queries, 10)
+    hits = sum(
+        len(set(true_ids.tolist()) & set(got_ids.tolist()))
+        for (true_ids, _), (got_ids, _) in zip(exact_results, approx_results)
+    )
+    return hits / (len(queries) * 10)
+
+
+def _skewed_index(retrain_threshold=None):
+    """A fixed-seed IVF index plus the drifted stream that skews it 4x.
+
+    The adds triple the catalog inside a region the build-time centroids
+    never saw, so the nearest frozen cells end up holding >= 4x the mean
+    cell size.
+    """
+
+    rng = np.random.default_rng(42)
+    base = rng.normal(size=(400, 16))
+    index = IVFIndex(
+        num_cells=16, n_probe=4, rng=np.random.default_rng(42),
+        retrain_threshold=retrain_threshold,
+    ).build(base)
+    drift = rng.normal(size=(1200, 16))
+    drift[:, 0] += 4.0
+    queries = rng.normal(size=(50, 16))
+    queries[25:, 0] += 4.0  # queries follow the drifted traffic
+    return index, base, drift, queries
+
+
+class TestImbalance:
+    def test_balanced_build_is_near_one(self):
+        rng = np.random.default_rng(0)
+        index = IVFIndex(num_cells=8, n_probe=2, rng=np.random.default_rng(0)).build(
+            rng.normal(size=(400, 8))
+        )
+        assert 1.0 <= index.imbalance() < DEFAULT_RETRAIN_THRESHOLD
+
+    def test_single_cell_is_exactly_one(self):
+        rng = np.random.default_rng(1)
+        index = IVFIndex(num_cells=1, n_probe=1).build(rng.normal(size=(20, 4)))
+        assert index.imbalance() == pytest.approx(1.0)
+
+    def test_requires_build(self):
+        with pytest.raises(RuntimeError):
+            IVFIndex().imbalance()
+        with pytest.raises(RuntimeError):
+            IVFIndex().retrain()
+
+    def test_skewed_adds_raise_imbalance(self):
+        index, _, drift, _ = _skewed_index()
+        balanced = index.imbalance()
+        index.add(drift)
+        assert index.imbalance() > DEFAULT_RETRAIN_THRESHOLD > balanced
+
+
+class TestRetrain:
+    def test_retrain_restores_balance_below_threshold_and_preserves_ids(self):
+        index, _, drift, _ = _skewed_index()
+        index.add(drift)
+        ids_before = index._ids.copy()
+        vectors_before = index._vectors.copy()
+        assert index.imbalance() > DEFAULT_RETRAIN_THRESHOLD
+        index.retrain()
+        assert index.imbalance() < DEFAULT_RETRAIN_THRESHOLD
+        np.testing.assert_array_equal(index._ids, ids_before)
+        np.testing.assert_array_equal(index._vectors, vectors_before)
+        members = sorted(p for cell in index._cells.values() for p in cell)
+        assert members == list(range(index.size))
+
+    def test_retrain_keeps_full_probe_search_exact(self):
+        rng = np.random.default_rng(5)
+        vectors = rng.normal(size=(80, 8))
+        index = IVFIndex(num_cells=4, n_probe=4, rng=np.random.default_rng(5)).build(vectors)
+        index.retrain()
+        exact = BruteForceIndex().build(vectors)
+        query = rng.normal(size=8)
+        exact_ids, _ = exact.search(query, k=10)
+        approx_ids, _ = index.search(query, k=10)
+        np.testing.assert_array_equal(np.sort(exact_ids), np.sort(approx_ids))
+
+    def test_auto_retrain_threshold_triggers_on_add(self):
+        auto, _, drift, _ = _skewed_index(retrain_threshold=DEFAULT_RETRAIN_THRESHOLD)
+        manual, _, _, _ = _skewed_index()
+        manual.add(drift)
+        assert manual.imbalance() > DEFAULT_RETRAIN_THRESHOLD  # frozen centroids skew
+        auto.add(drift)  # same stream, auto-maintained
+        assert auto.imbalance() < DEFAULT_RETRAIN_THRESHOLD
+        assert auto.size == manual.size
+
+    def test_retrain_threshold_validation(self):
+        with pytest.raises(ValueError):
+            IVFIndex(retrain_threshold=0.5)
+
+
+class TestRecallRegression:
+    def test_recall_floor_at_n_probe_4(self):
+        rng = np.random.default_rng(42)
+        base = rng.normal(size=(400, 16))
+        exact = BruteForceIndex().build(base)
+        index = IVFIndex(num_cells=16, n_probe=4, rng=np.random.default_rng(42)).build(base)
+        queries = rng.normal(size=(50, 16))
+        assert _recall_at_10(index, exact, queries) >= RECALL_FLOOR
+
+    def test_retrain_after_skewed_adds_keeps_recall_floor(self):
+        index, base, drift, queries = _skewed_index()
+        index.add(drift)
+        exact = BruteForceIndex().build(np.concatenate([base, drift]))
+        index.retrain()
+        assert index.imbalance() < DEFAULT_RETRAIN_THRESHOLD
+        assert _recall_at_10(index, exact, queries) >= RECALL_FLOOR
+
+
+class TestZeroVectorErrors:
+    def test_build_zero_vectors_clear_error(self):
+        with pytest.raises(ValueError, match="zero vectors"):
+            IVFIndex().build(np.empty((0, 8)))
+
+    def test_brute_force_build_zero_vectors_same_error(self):
+        # all three index types agree, so empty-fit behavior cannot depend on
+        # which backend (or num_shards) the stack picked
+        with pytest.raises(ValueError, match="zero vectors"):
+            BruteForceIndex().build(np.empty((0, 8)))
+
+    def test_kmeans_zero_vectors_clear_error(self):
+        with pytest.raises(ValueError, match="zero vectors"):
+            kmeans(np.empty((0, 4)), 4)
+
+    def test_kmeans_still_rejects_nonpositive_clusters(self):
+        with pytest.raises(ValueError, match="num_clusters"):
+            kmeans(np.ones((5, 2)), 0)
