@@ -2,6 +2,13 @@
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
+from typing import Any
+
+import numpy as np
+
 from repro.experiments import QUICK
 
 #: The scale used by every benchmark: small synthetic datasets, short training
@@ -31,3 +38,38 @@ def run_once(benchmark, func, *args, **kwargs):
     """
 
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def _sanitize(value: Any) -> Any:
+    """Recursively convert bench payloads (dataclasses, NumPy types) to JSON types."""
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _sanitize(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _sanitize(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(entry) for entry in value]
+    if isinstance(value, np.ndarray):
+        return _sanitize(value.tolist())
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def emit_bench_json(name: str, payload: Any) -> str:
+    """Write a machine-readable ``BENCH_<name>.json`` next to the run.
+
+    Every benchmark emits its result rows through this helper so the perf
+    trajectory can be tracked across PRs by diffing JSON instead of scraping
+    stdout.  The destination directory defaults to the current working
+    directory and can be redirected with ``$BENCH_RESULTS_DIR``.  Returns the
+    written path.
+    """
+
+    directory = os.environ.get("BENCH_RESULTS_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump({"bench": name, "results": _sanitize(payload)}, handle, indent=2, default=str)
+        handle.write("\n")
+    return path

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.experiments import run_ann_ablation
 
-from _bench_utils import run_once
+from _bench_utils import emit_bench_json, run_once
 
 
 def test_ablation_ann_recall_latency(benchmark):
@@ -30,6 +30,7 @@ def test_ablation_ann_recall_latency(benchmark):
     for row in rows:
         print(f"{row.variant:<18}{row.metrics['recall']:>12.4f}{row.metrics['query_ms']:>12.4f}")
 
+    emit_bench_json("ablation_ann", rows)
     by_variant = {row.variant: row.metrics for row in rows}
     assert by_variant["BruteForce"]["recall"] == 1.0
     # Recall is monotone (within tolerance) in the number of probed cells.

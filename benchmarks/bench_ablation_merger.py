@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.experiments import run_merger_ablation
 
-from _bench_utils import BENCH_SCALE, run_once
+from _bench_utils import BENCH_SCALE, emit_bench_json, run_once
 
 
 def test_ablation_merger_vs_interpolation(benchmark, bench_datasets):
@@ -33,6 +33,7 @@ def test_ablation_merger_vs_interpolation(benchmark, bench_datasets):
             f"{metrics.get('HR@50', 0):>10.4f}{metrics.get('NDCG@50', 0):>10.4f}"
         )
 
+    emit_bench_json("ablation_merger", rows)
     by_variant = {row.variant: row.metrics for row in rows}
     interpolations = [m for v, m in by_variant.items() if v.startswith("interpolation")]
     # The learned merger should be competitive with the best fixed interpolation.

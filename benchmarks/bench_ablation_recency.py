@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.experiments import run_recency_ablation
 
-from _bench_utils import BENCH_SCALE, run_once
+from _bench_utils import BENCH_SCALE, emit_bench_json, run_once
 
 
 def test_ablation_recency_window(benchmark, bench_datasets):
@@ -34,6 +34,7 @@ def test_ablation_recency_window(benchmark, bench_datasets):
             f"{metrics['HR@50']:>10.4f}{metrics['NDCG@50']:>10.4f}"
         )
 
+    emit_bench_json("ablation_recency", rows)
     # All windows produce valid, non-degenerate rankings.
     for row in rows:
         assert 0.0 <= row.metrics["HR@50"] <= 1.0

@@ -1,0 +1,244 @@
+"""Versioned serving cache under a Zipfian repeat-visitor workload (QPS, p50/p99).
+
+Real recommend traffic is read-heavy and heavily skewed: a small set of hot
+users issues most requests, each visitor asks several times per session
+(pagination, refreshes), and only occasionally does a click land in between.
+The versioned serving cache (``repro.core.cache``) makes such repeat
+requests nearly free: a hit validates two integers (user version, index
+epoch) and returns the stored list, while every mutation anywhere bumps a
+counter and invalidates exactly the entries it could have changed.
+
+This bench replays the *same* request stream through a cacheless and a
+cache-enabled server pair (deep copies of one fitted SCCF, so the outputs
+can be compared request-for-request) and reports recommend QPS, p50/p99
+latency, and the per-layer hit rates.
+
+Workload shape:
+
+* visitors drawn from a Zipf(alpha=1.1) distribution over the user pool;
+* each visitor issues a geometric session of recommend requests (mean ~3);
+* with probability ``--observe-prob`` a request is an observe instead (the
+  visitor clicks an item), which bumps her version and the index epoch.
+
+Run it directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_cache_serving.py
+    PYTHONPATH=src python benchmarks/bench_cache_serving.py --num-requests 8000 --observe-prob 0.05
+    PYTHONPATH=src python benchmarks/bench_cache_serving.py --smoke   # tiny CI configuration
+
+The acceptance bar for the serving-cache PR: cached recommend QPS >= 2.5x
+the cacheless path on the default workload, with outputs identical
+request-for-request.  Results are written to ``BENCH_cache_serving.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core import RealTimeServer, SCCF, SCCFConfig, ServingCache
+from repro.data import load_preset
+from repro.models import FISM
+
+from _bench_utils import emit_bench_json
+
+
+def build_sccf(num_users: int, num_items: int, dim: int, num_neighbors: int, seed: int = 13):
+    """A fitted SCCF on a synthetic dataset sized for the serving workload."""
+
+    dataset = load_preset(
+        "tiny",
+        seed=seed,
+        num_users=num_users,
+        num_items=num_items,
+        avg_interactions=20.0,
+        name="bench-cache",
+    )
+    model = FISM(embedding_dim=dim, num_epochs=0, seed=seed).fit(dataset)
+    sccf = SCCF(
+        model,
+        SCCFConfig(num_neighbors=num_neighbors, candidate_list_size=100, merger_epochs=1, seed=seed),
+    )
+    sccf.fit(dataset, fit_ui_model=False)
+    return sccf, dataset
+
+
+def zipf_probabilities(num_users: int, alpha: float) -> np.ndarray:
+    ranks = np.arange(1, num_users + 1, dtype=np.float64)
+    weights = ranks ** -alpha
+    return weights / weights.sum()
+
+
+def make_workload(
+    num_requests: int,
+    num_users: int,
+    num_items: int,
+    alpha: float,
+    observe_prob: float,
+    mean_session: float,
+    k: int,
+    seed: int = 29,
+) -> List[Tuple]:
+    """A repeat-visitor request stream: Zipfian visitors, bursty sessions.
+
+    Returns ops ``("recommend", user, k)`` / ``("observe", user, item)``.
+    Visitor identity is a random permutation of the Zipf ranks so the hot
+    users are not simply ids 0..n.
+    """
+
+    rng = np.random.default_rng(seed)
+    probabilities = zipf_probabilities(num_users, alpha)
+    identity = rng.permutation(num_users)
+    ops: List[Tuple] = []
+    while len(ops) < num_requests:
+        visitor = int(identity[rng.choice(num_users, p=probabilities)])
+        session_length = 1 + rng.geometric(1.0 / mean_session)
+        for _ in range(min(session_length, num_requests - len(ops))):
+            if rng.random() < observe_prob:
+                ops.append(("observe", visitor, int(rng.integers(0, num_items))))
+            else:
+                ops.append(("recommend", visitor, k))
+    return ops
+
+
+def run_stream(server: RealTimeServer, ops: List[Tuple]) -> Dict:
+    """Replay the stream; time each recommend individually."""
+
+    latencies_ms: List[float] = []
+    outputs: List[List[int]] = []
+    start = time.perf_counter()
+    for op in ops:
+        if op[0] == "observe":
+            server.observe(op[1], op[2])
+        else:
+            request_start = time.perf_counter()
+            outputs.append(server.recommend(op[1], k=op[2]))
+            latencies_ms.append((time.perf_counter() - request_start) * 1000.0)
+    elapsed = time.perf_counter() - start
+    return {
+        "outputs": outputs,
+        "recommends": len(latencies_ms),
+        "qps": len(latencies_ms) / sum(latencies_ms) * 1000.0,
+        "wall_s": elapsed,
+        "p50_ms": float(np.percentile(latencies_ms, 50)),
+        "p99_ms": float(np.percentile(latencies_ms, 99)),
+        "mean_ms": float(np.mean(latencies_ms)),
+    }
+
+
+def bench_cache(sccf: SCCF, dataset, ops: List[Tuple], cache_capacity: int) -> Dict:
+    plain = copy.deepcopy(sccf)
+    cached = copy.deepcopy(sccf).attach_cache(ServingCache(cache_capacity))
+
+    uncached_run = run_stream(RealTimeServer(plain, dataset), ops)
+    cached_run = run_stream(RealTimeServer(cached, dataset), ops)
+
+    matches = sum(
+        1 for a, b in zip(uncached_run["outputs"], cached_run["outputs"]) if a == b
+    )
+    stats = cached.cache_stats()
+    report = {
+        "num_requests": len(ops),
+        "recommends": uncached_run["recommends"],
+        "observes": len(ops) - uncached_run["recommends"],
+        "parity": {"matching": matches, "total": uncached_run["recommends"]},
+        "uncached": {key: value for key, value in uncached_run.items() if key != "outputs"},
+        "cached": {key: value for key, value in cached_run.items() if key != "outputs"},
+        "speedup": cached_run["qps"] / uncached_run["qps"],
+        "hit_rate": stats.hit_rate,
+        "request_hit_rate": stats.layer("recommendations").hit_rate,
+        "cache_stats": stats.as_dict(),
+    }
+    return report
+
+
+def format_report(report: Dict) -> str:
+    uncached, cached = report["uncached"], report["cached"]
+    header = f"{'path':<12} {'QPS':>10} {'p50 (ms)':>10} {'p99 (ms)':>10}"
+    lines = [
+        f"repeat-visitor serving: {report['recommends']} recommends, "
+        f"{report['observes']} observes interleaved",
+        header,
+        "-" * len(header),
+        f"{'cacheless':<12} {uncached['qps']:>10.0f} {uncached['p50_ms']:>10.3f} {uncached['p99_ms']:>10.3f}",
+        f"{'cached':<12} {cached['qps']:>10.0f} {cached['p50_ms']:>10.3f} {cached['p99_ms']:>10.3f}",
+        "",
+        f"speedup:                {report['speedup']:.2f}x",
+        f"request-level hit rate: {report['request_hit_rate']:.1%}"
+        f" (all layers: {report['hit_rate']:.1%})",
+        f"output parity:          {report['parity']['matching']}/{report['parity']['total']} identical",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> Dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-users", type=int, default=2000)
+    parser.add_argument("--num-items", type=int, default=1000)
+    parser.add_argument("--dim", type=int, default=64)
+    parser.add_argument("--num-neighbors", type=int, default=50)
+    parser.add_argument("--num-requests", type=int, default=4000)
+    parser.add_argument("--k", type=int, default=50)
+    parser.add_argument("--alpha", type=float, default=1.1, help="Zipf exponent over visitors")
+    parser.add_argument(
+        "--observe-prob", type=float, default=0.03,
+        help="probability a request is an observe (a click) instead of a recommend",
+    )
+    parser.add_argument(
+        "--mean-session", type=float, default=3.0,
+        help="mean recommend requests per visitor session",
+    )
+    parser.add_argument("--cache-capacity", type=int, default=4096)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI configuration: just proves the bench runs end to end",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.num_users, args.num_items, args.dim = 200, 150, 16
+        args.num_neighbors, args.num_requests, args.k = 20, 300, 20
+        args.cache_capacity = 256
+
+    sccf, dataset = build_sccf(args.num_users, args.num_items, args.dim, args.num_neighbors)
+    ops = make_workload(
+        args.num_requests,
+        dataset.num_users,
+        dataset.num_items,
+        args.alpha,
+        args.observe_prob,
+        args.mean_session,
+        args.k,
+    )
+    report = bench_cache(sccf, dataset, ops, args.cache_capacity)
+    report["config"] = {
+        "num_users": args.num_users,
+        "num_items": args.num_items,
+        "dim": args.dim,
+        "num_neighbors": args.num_neighbors,
+        "k": args.k,
+        "alpha": args.alpha,
+        "observe_prob": args.observe_prob,
+        "mean_session": args.mean_session,
+        "cache_capacity": args.cache_capacity,
+        "smoke": args.smoke,
+    }
+    print(
+        f"cache serving: {args.num_requests} requests, {args.num_users} users, "
+        f"{args.num_items} items, d={args.dim}, beta={args.num_neighbors}, "
+        f"zipf alpha={args.alpha}"
+    )
+    print(format_report(report))
+    path = emit_bench_json("cache_serving", report)
+    print(f"\nresults written to {path}")
+    if report["parity"]["matching"] != report["parity"]["total"]:
+        raise SystemExit("cached and cacheless outputs diverged")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -13,13 +13,14 @@ import numpy as np
 
 from repro.experiments import format_figure1, run_figure1
 
-from _bench_utils import run_once
+from _bench_utils import emit_bench_json, run_once
 
 
 def test_figure1_interest_drift_distribution(benchmark):
     result = run_once(benchmark, run_figure1, num_users=300, num_days=15, window_days=14, seed=0)
     print("\n=== Figure 1: days since today's categories were first clicked ===")
     print(format_figure1(result))
+    emit_bench_json("figure1_category_drift", result)
 
     # Shape 1: a large share (paper: ~50%) of today's categories are new.
     assert 0.25 <= result.new_category_fraction <= 0.75

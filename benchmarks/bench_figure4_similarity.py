@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.experiments import run_figure4
 
-from _bench_utils import BENCH_SCALE, run_once
+from _bench_utils import BENCH_SCALE, emit_bench_json, run_once
 
 
 def test_figure4_candidate_similarity_distributions(benchmark, bench_datasets):
@@ -24,6 +24,7 @@ def test_figure4_candidate_similarity_distributions(benchmark, bench_datasets):
         max_users=150,
     )
     means = result.means()
+    emit_bench_json("figure4_similarity", {"means": means, "rows": result.as_rows(bins=12)})
     print("\n=== Figure 4: mean user-candidate cosine similarity ===")
     print(f"{'curve':<16}{'mean similarity':>18}{'users':>8}")
     print(f"{'UI candidates':<16}{means['ui']:>18.4f}{len(result.ui_candidates):>8}")

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.experiments import format_sweep, run_dimension_sweep
 
-from _bench_utils import BENCH_SCALE, run_once
+from _bench_utils import BENCH_SCALE, emit_bench_json, run_once
 
 
 def test_figure5_dimension_sweep(benchmark, bench_datasets):
@@ -30,6 +30,7 @@ def test_figure5_dimension_sweep(benchmark, bench_datasets):
     print(format_sweep(points, metric="HR@50"))
     print()
     print(format_sweep(points, metric="NDCG@50"))
+    emit_bench_json("figure5_dimension", points)
 
     ui = {p.value: p.metrics["NDCG@50"] for p in points if p.variant == "UI"}
     sccf = {p.value: p.metrics["NDCG@50"] for p in points if p.variant == "SCCF"}

@@ -34,6 +34,8 @@ import numpy as np
 
 from repro.ann import BruteForceIndex, IVFIndex, ShardedIndex
 
+from _bench_utils import emit_bench_json
+
 
 def bench_shard_counts(
     num_rows: int,
@@ -185,7 +187,9 @@ def main() -> Dict:
         args.ivf_rows, args.dim, args.num_cells, args.n_probe, args.skew_factor
     )
     print(format_retrain(retrain))
-    return {"scaling": scaling, "retrain": retrain}
+    report = {"scaling": scaling, "retrain": retrain}
+    emit_bench_json("shard_scaling", report)
+    return report
 
 
 if __name__ == "__main__":

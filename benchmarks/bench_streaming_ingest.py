@@ -31,6 +31,8 @@ from repro.core import EventBuffer, RealTimeServer, SCCF, SCCFConfig
 from repro.data import load_preset
 from repro.models import FISM
 
+from _bench_utils import emit_bench_json
+
 
 def build_sccf(num_users: int, num_items: int, dim: int, num_neighbors: int, seed: int = 13):
     """A fitted SCCF on a synthetic dataset sized for the ingestion workload."""
@@ -128,6 +130,7 @@ def main() -> List[Dict]:
         f"{args.num_items} items, d={args.dim}, beta={args.num_neighbors}"
     )
     print(format_rows(rows))
+    emit_bench_json("streaming_ingest", rows)
     return rows
 
 

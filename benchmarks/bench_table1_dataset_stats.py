@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.data import load_preset
 from repro.experiments import DATASET_NAMES, format_table1
 
-from _bench_utils import run_once
+from _bench_utils import emit_bench_json, run_once
 
 
 def _generate_all_statistics():
@@ -22,6 +22,7 @@ def test_table1_dataset_statistics(benchmark):
     statistics = run_once(benchmark, _generate_all_statistics)
     print("\n=== Table I: dataset statistics (synthetic analogs) ===")
     print(format_table1(statistics))
+    emit_bench_json("table1_dataset_stats", statistics)
     # Qualitative Table I shape: MovieLens analogs are denser with longer
     # sequences than the Amazon analogs.
     by_name = {stats.name: stats for stats in statistics}

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.experiments import format_table2, run_table2
 
-from _bench_utils import BENCH_SCALE, run_once
+from _bench_utils import BENCH_SCALE, emit_bench_json, run_once
 
 
 def test_table2_performance_comparison(benchmark, bench_datasets):
@@ -23,6 +23,7 @@ def test_table2_performance_comparison(benchmark, bench_datasets):
     )
     print("\n=== Table II: performance comparison ===")
     print(format_table2(rows))
+    emit_bench_json("table2_performance", rows)
 
     by_key = {(row.dataset, row.model): row.metrics for row in rows}
     for dataset in bench_datasets:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.experiments import format_table3, run_table3
 
-from _bench_utils import BENCH_SCALE, run_once
+from _bench_utils import BENCH_SCALE, emit_bench_json, run_once
 
 
 def test_table3_realtime_latency(benchmark, bench_datasets):
@@ -26,6 +26,7 @@ def test_table3_realtime_latency(benchmark, bench_datasets):
     )
     print("\n=== Table III: real-time latency per new interaction (ms) ===")
     print(format_table3(rows))
+    emit_bench_json("table3_realtime", rows)
 
     by_key = {(row.dataset, row.method): row for row in rows}
     for dataset in bench_datasets:
@@ -37,3 +38,11 @@ def test_table3_realtime_latency(benchmark, bench_datasets):
         # SCCF identifies neighbors in low-dimensional space much faster than
         # UserKNN recomputes sparse user-user similarities.
         assert sccf.identifying_ms < userknn.identifying_ms
+        # Repeat-visitor serving: the second ask per user hits the versioned
+        # cache, so the cached row's mean recommend latency drops below the
+        # cacheless serving mean (expected margin ~2x: one compute + one
+        # ~free hit vs two computes; this file is not collected by the
+        # tier-1 pytest run, only by explicit benchmark runs).
+        cached = by_key[(dataset, "SCCF-cached")]
+        assert sccf.recommend_ms is not None and cached.recommend_ms is not None
+        assert cached.recommend_ms < sccf.recommend_ms

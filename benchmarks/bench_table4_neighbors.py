@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.experiments import format_sweep, run_neighbor_sweep
 
-from _bench_utils import BENCH_SCALE, run_once
+from _bench_utils import BENCH_SCALE, emit_bench_json, run_once
 
 
 def test_table4_neighborhood_size_sweep(benchmark, bench_datasets):
@@ -26,6 +26,7 @@ def test_table4_neighborhood_size_sweep(benchmark, bench_datasets):
     )
     print("\n=== Table IV: NDCG@50 vs neighborhood size β ===")
     print(format_sweep(points, metric="NDCG@50"))
+    emit_bench_json("table4_neighbors", points)
 
     ui_values = {p.value: p.metrics["NDCG@50"] for p in points if p.variant == "UI"}
     sccf_values = {p.value: p.metrics["NDCG@50"] for p in points if p.variant == "SCCF"}

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.experiments import format_table5, run_table5
 
-from _bench_utils import run_once
+from _bench_utils import emit_bench_json, run_once
 
 
 def test_table5_online_ab_simulation(benchmark):
@@ -31,6 +31,7 @@ def test_table5_online_ab_simulation(benchmark):
     )
     print("\n=== Table V: simulated online A/B test ===")
     print(format_table5(result))
+    emit_bench_json("table5_ab_test", result)
     print(f"click lift: {result.click_lift * 100:+.2f}%   trade lift: {result.trade_lift * 100:+.2f}%")
 
     # Both buckets generate engagement, and the SCCF bucket should not lose

@@ -35,6 +35,8 @@ from repro.data import load_preset
 from repro.eval import Evaluator
 from repro.models import FISM
 
+from _bench_utils import emit_bench_json
+
 
 def _timeit(func, repeats: int = 3) -> float:
     """Best-of-``repeats`` wall-clock seconds (cold-cache noise suppressed)."""
@@ -202,6 +204,7 @@ def main() -> List[Dict]:
     rows.append(bench_evaluation(eval_model, eval_dataset, batch=256))
 
     print(format_rows(rows))
+    emit_bench_json("throughput_batched", rows)
     return rows
 
 

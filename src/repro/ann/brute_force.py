@@ -146,6 +146,10 @@ class BruteForceIndex:
             raise ValueError("dtype must be float32 or float64")
         self.metric = metric
         self.dtype = dtype
+        #: monotonically increasing mutation counter: bumped by every build /
+        #: add / update / update_batch, so serving caches can validate stored
+        #: search results in O(1) (see :mod:`repro.core.cache`).
+        self.epoch = 0
         self._vectors: Optional[np.ndarray] = None
         self._normalized: Optional[np.ndarray] = None
         self._ids: Optional[np.ndarray] = None
@@ -178,6 +182,7 @@ class BruteForceIndex:
         if len(self._ids) != len(vectors):
             raise ValueError("ids must match the number of vectors")
         check_new_ids(None, self._ids)
+        self.epoch += 1
         return self
 
     def update(self, position: int, vector: np.ndarray) -> None:
@@ -211,6 +216,7 @@ class BruteForceIndex:
         self._vectors[positions] = vectors
         if self.metric == "cosine":
             self._normalized[positions] = normalize_rows(vectors).astype(self.dtype, copy=False)
+        self.epoch += 1
 
     def add(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> "BruteForceIndex":
         """Append new rows to the index (cold-start growth at serve time).
@@ -243,6 +249,7 @@ class BruteForceIndex:
         else:
             self._normalized = self._vectors
         self._ids = np.concatenate([self._ids, new_ids])
+        self.epoch += 1
         return self
 
     @property

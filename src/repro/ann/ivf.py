@@ -114,6 +114,10 @@ class IVFIndex:
         self.n_probe = n_probe
         self.dtype = dtype
         self.retrain_threshold = retrain_threshold
+        #: monotonically increasing mutation counter: bumped by every build /
+        #: add / update / update_batch / retrain, so serving caches can
+        #: validate stored search results in O(1) (see :mod:`repro.core.cache`).
+        self.epoch = 0
         self._rng = rng or np.random.default_rng(0)
         self._vectors: Optional[np.ndarray] = None
         self._normalized: Optional[np.ndarray] = None
@@ -144,6 +148,7 @@ class IVFIndex:
             raise ValueError("ids must match the number of vectors")
         check_new_ids(None, self._ids)
         self._recluster(num_iterations=20)
+        self.epoch += 1
         return self
 
     def _recluster(self, num_iterations: int) -> None:
@@ -191,6 +196,7 @@ class IVFIndex:
         if self._vectors is None:
             raise RuntimeError("index has not been built")
         self._recluster(num_iterations=num_iterations)
+        self.epoch += 1
         return self
 
     def _cell_positions(self, cell: int) -> np.ndarray:
@@ -257,6 +263,7 @@ class IVFIndex:
             self._cell_arrays.pop(old_cell, None)
             self._cell_arrays.pop(new_cell, None)
         self._assignments[positions] = new_cells
+        self.epoch += 1
 
     def add(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> "IVFIndex":
         """Append new rows, assigning each to its nearest existing cell.
@@ -296,6 +303,7 @@ class IVFIndex:
             cell = int(cell)
             self._cells.setdefault(cell, set()).add(start + offset)
             self._cell_arrays.pop(cell, None)
+        self.epoch += 1
         if self.retrain_threshold is not None and self.imbalance() > self.retrain_threshold:
             self.retrain()
         return self

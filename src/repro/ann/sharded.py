@@ -70,6 +70,10 @@ class ShardedIndex:
             raise ValueError("num_threads must be positive")
         self.num_shards = num_shards
         self.num_threads = num_threads
+        #: monotonically increasing mutation counter: bumped by every build /
+        #: add / update / update_batch / retrain, so serving caches can
+        #: validate stored search results in O(1) (see :mod:`repro.core.cache`).
+        self.epoch = 0
         self._shard_factory = shard_factory or (lambda: BruteForceIndex(metric="cosine"))
         self._shards: List[object] = []
         self._ids: Optional[np.ndarray] = None
@@ -133,6 +137,7 @@ class ShardedIndex:
             if len(rows):
                 backend.build(rows, ids=self._ids[shard :: self.num_shards])
             self._shards.append(backend)
+        self.epoch += 1
         return self
 
     # ------------------------------------------------------------------ #
@@ -168,6 +173,7 @@ class ShardedIndex:
             # Boolean masking preserves arrival order, so backend
             # duplicate-position semantics (last write wins) carry over.
             self._shards[shard].update_batch(positions[mask] // self.num_shards, vectors[mask])
+        self.epoch += 1
 
     def add(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> "ShardedIndex":
         """Append rows, continuing the round-robin deal so shards stay balanced.
@@ -207,6 +213,7 @@ class ShardedIndex:
                 backend.build(vectors[mask], ids=new_ids[mask])
         self._ids = np.concatenate([self._ids, new_ids])
         self._id_order = None
+        self.epoch += 1
         return self
 
     # ------------------------------------------------------------------ #
@@ -318,6 +325,7 @@ class ShardedIndex:
         for shard in self._shards:
             if hasattr(shard, "retrain") and getattr(shard, "size", 0):
                 shard.retrain(num_iterations=num_iterations)
+        self.epoch += 1
         return self
 
     @property

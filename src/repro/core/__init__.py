@@ -1,7 +1,14 @@
 """SCCF core: user-based component, integrating MLP, framework, real-time server."""
 
+from .cache import CacheStats, LayerStats, LRUCache, ServingCache
 from .merger import CandidateFeatures, IntegratingMLP, normalize_scores
-from .realtime import EventBuffer, LatencyBreakdown, MaintenanceReport, RealTimeServer
+from .realtime import (
+    EventBuffer,
+    LatencyBreakdown,
+    MaintenanceReport,
+    MaintenanceScheduler,
+    RealTimeServer,
+)
 from .sccf import SCCF, SCCFConfig
 from .user_neighborhood import UserNeighborhoodComponent
 
@@ -15,5 +22,10 @@ __all__ = [
     "RealTimeServer",
     "LatencyBreakdown",
     "MaintenanceReport",
+    "MaintenanceScheduler",
     "EventBuffer",
+    "ServingCache",
+    "CacheStats",
+    "LayerStats",
+    "LRUCache",
 ]

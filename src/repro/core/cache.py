@@ -1,0 +1,422 @@
+"""Versioned serving cache for the SCCF recommend hot path.
+
+The online deployment story (Table III) hinges on per-request latency, and
+real traffic is heavily skewed toward *repeat visitors*: the same user asks
+for recommendations again and again with nothing about her state — or her
+neighborhood — having changed in between.  Recomputing the full pipeline
+(user-embedding inference, neighbor search, candidate union, merger feature
+assembly, MLP forward) for every such request is pure waste.
+
+This module provides the cache as a proper *invalidation-correct* subsystem
+rather than an ad-hoc memo.  Correctness rests on two families of
+monotonically increasing counters maintained at the mutation points:
+
+* **per-user embedding versions** — bumped by
+  :meth:`~repro.core.user_neighborhood.UserNeighborhoodComponent.update_users`
+  / ``add_users`` (and therefore by every ``RealTimeServer.observe`` /
+  ``observe_batch``), so anything derived from a user's history or embedding
+  can be validated in O(1);
+* **index epochs** — bumped by any ``build`` / ``add`` / ``update`` /
+  ``update_batch`` / ``retrain`` on the neighbor index
+  (:class:`~repro.ann.brute_force.BruteForceIndex`,
+  :class:`~repro.ann.ivf.IVFIndex`,
+  :class:`~repro.ann.sharded.ShardedIndex`), so anything derived from *other
+  users'* state (neighbor lists, fused scores, full recommendation lists) is
+  invalidated by any mutation anywhere — a ``retrain`` invalidates
+  everything epoch-keyed.
+
+Every cache entry stores the ``(key, token, value)`` triple where ``token``
+encodes the counters the value was computed under; a lookup whose stored
+token no longer matches the current counters drops the entry and counts an
+*invalidation*.  Token components are strictly monotonic (versions, epochs,
+the merger generation), so a dropped entry could never have become valid
+again; validation is a pure O(1) tuple comparison and a stale entry can
+never be served.  Inputs the counters cannot see — caller-supplied
+histories (:func:`history_fingerprint` embeds ``hash(tuple(history))``) and
+caller-supplied query embeddings (``hash(embedding.tobytes())``) — are
+fingerprinted into the *key* instead, so distinct explicit inputs for one
+user coexist as separate entries (interleaving two flows never thrashes the
+cache).  A 64-bit fingerprint collision would make two different explicit
+inputs share a key — negligible in practice, but worth knowing when
+reasoning about the invalidation model.  No *index or model* state is ever
+hashed.  Re-fitting a component behind a fitted SCCF's back is covered for
+the merger by its ``generation`` counter; re-fitting the UI model requires
+``SCCF.fit`` (which rebuilds the neighborhood and clears the cache) to
+produce a coherent stack at all, cached or not.
+
+Layers (all bounded LRU, one capacity knob):
+
+* ``embeddings``   — user id → inferred user embedding (survives index
+  mutations: it depends only on the user's own history);
+* ``neighbors``    — user id → ``(neighbor_ids, similarities)`` search
+  result, keyed on ``(user_version, index_epoch, history fingerprint)``;
+* ``scores``       — user id → full fused score row over the catalog;
+* ``recommendations`` — ``(user id, k, exclude_seen)`` → final top-k list.
+
+Enable it with ``SCCFConfig(cache_capacity=...)`` / ``make_sccf(...,
+cache_capacity=...)`` or by passing a :class:`ServingCache` to ``SCCF``
+directly; hit/miss/invalidation/eviction counters are surfaced through
+:meth:`ServingCache.stats`.
+
+Precision note: within the serving flow (``RealTimeServer.observe`` /
+``recommend``) every scoring call is a batch of one, so a cache hit is
+*bit-identical* to recomputing — the property suite pins this over random
+interleaved workloads.  When the same cached SCCF also serves large
+evaluation batches, an entry cached under one batch shape can differ from a
+fresh computation under another by a few ulps of the narrowest dtype
+involved: BLAS dispatches different kernels by batch shape (gemv at batch 1
+vs gemm), so a float32 neighbor-index search answers a 1-row batch ~1e-7
+apart from a 10-row batch, and deep-model inference (SASRec) shows the same
+effect at float64 scale.  The values are equally valid rounding of the same
+mathematical result; only cross-shape *comparisons* see it.
+"""
+
+from __future__ import annotations
+
+import copy
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+__all__ = [
+    "MISS",
+    "LayerStats",
+    "CacheStats",
+    "LRUCache",
+    "ServingCache",
+    "history_fingerprint",
+    "serve_batch",
+]
+
+
+class _Miss:
+    """Sentinel distinguishing "no entry" from a cached ``None`` value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<cache miss>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Returned by :meth:`LRUCache.get` when no valid entry exists.
+MISS = _Miss()
+
+
+@dataclass
+class LayerStats:
+    """Hit/miss accounting for one cache layer.
+
+    ``invalidations`` counts entries dropped because their version/epoch
+    token went stale (every invalidation is also a miss: the caller must
+    recompute).  ``evictions`` counts entries pushed out by the LRU capacity
+    bound.
+    """
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never consulted)."""
+
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class CacheStats:
+    """Per-layer :class:`LayerStats` plus aggregate totals (one report object)."""
+
+    layers: List[LayerStats] = field(default_factory=list)
+
+    @property
+    def hits(self) -> int:
+        return sum(layer.hits for layer in self.layers)
+
+    @property
+    def misses(self) -> int:
+        return sum(layer.misses for layer in self.layers)
+
+    @property
+    def invalidations(self) -> int:
+        return sum(layer.invalidations for layer in self.layers)
+
+    @property
+    def evictions(self) -> int:
+        return sum(layer.evictions for layer in self.layers)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def layer(self, name: str) -> LayerStats:
+        for entry in self.layers:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no cache layer named {name!r}")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "layers": [layer.as_dict() for layer in self.layers],
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def summary(self) -> str:
+        """Aligned per-layer report (hit rates, invalidations, evictions)."""
+
+        header = f"{'layer':<16}{'hits':>10}{'misses':>10}{'stale':>8}{'evicted':>9}{'hit rate':>10}"
+        lines = [header, "-" * len(header)]
+        for layer in self.layers:
+            lines.append(
+                f"{layer.name:<16}{layer.hits:>10}{layer.misses:>10}"
+                f"{layer.invalidations:>8}{layer.evictions:>9}{layer.hit_rate:>10.1%}"
+            )
+        lines.append(
+            f"{'total':<16}{self.hits:>10}{self.misses:>10}"
+            f"{self.invalidations:>8}{self.evictions:>9}{self.hit_rate:>10.1%}"
+        )
+        return "\n".join(lines)
+
+
+class LRUCache:
+    """Bounded LRU mapping ``key → (token, value)`` with token validation.
+
+    ``token`` is the tuple of version counters the value was computed under
+    (e.g. ``(user_version, index_epoch)``) — monotonic by contract; anything
+    non-monotonic an entry depends on (a history fingerprint, a query hash)
+    belongs in the *key*.  :meth:`get` only returns a value whose stored
+    token equals the caller's current token; a mismatch drops the entry (it
+    can never become valid again — counters are monotonic) and reports a
+    miss.  Capacity 0 disables the layer: every ``put`` is a no-op and every
+    ``get`` a miss.
+    """
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.name = name
+        self.capacity = capacity
+        self.stats = LayerStats(name=name)
+        self._entries: "OrderedDict[Hashable, Tuple[Hashable, Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, token: Hashable) -> Any:
+        """Return the cached value for ``key`` if its token is current, else :data:`MISS`."""
+
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return MISS
+        stored_token, value = entry
+        if stored_token != token:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return MISS
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, token: Hashable, value: Any) -> None:
+        """Store ``value`` under ``key``/``token``, evicting the LRU entry if full."""
+
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = (token, value)
+
+    def clear(self) -> None:
+        """Drop every entry (stats are preserved — they describe the lifetime)."""
+
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = LayerStats(name=self.name)
+
+
+class ServingCache:
+    """The layered cache spanning the whole recommend hot path.
+
+    One ``capacity`` bounds every layer independently (each layer keeps at
+    most ``capacity`` entries).  Memory is dominated by the ``scores`` layer,
+    whose values are full ``(num_items,)`` float64 rows — size the capacity
+    accordingly for very large catalogs, or rely on the LRU bound.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive (omit the cache to disable it)")
+        self.capacity = capacity
+        self.embeddings = LRUCache("embeddings", capacity)
+        self.neighbors = LRUCache("neighbors", capacity)
+        self.scores = LRUCache("scores", capacity)
+        self.recommendations = LRUCache("recommendations", capacity)
+        self._owner: Optional[weakref.ref] = None
+
+    def bind(self, owner: object) -> None:
+        """Claim this cache for ``owner`` (one SCCF stack per cache).
+
+        Entry keys carry no model discriminator — two SCCF instances sharing
+        one cache would serve each other's embeddings and scores — so the
+        cache refuses a second live owner.  A cache whose previous owner is
+        gone can be re-bound; its entries are dropped first (they encode the
+        dead owner's model state).
+        """
+
+        current = self._owner() if self._owner is not None else None
+        if current is owner:
+            return
+        if current is not None:
+            raise ValueError(
+                "this ServingCache is already attached to another SCCF; "
+                "caches cannot be shared between stacks (entry keys carry "
+                "no model discriminator)"
+            )
+        if len(self):
+            self.clear()
+        self._owner = weakref.ref(owner)
+
+    def unbind(self, owner: object) -> None:
+        """Release ownership if held by ``owner`` (no-op otherwise).
+
+        Called when a stack detaches or replaces its cache, so the cache can
+        be attached elsewhere afterwards; any leftover entries are dropped by
+        the next :meth:`bind`.
+        """
+
+        current = self._owner() if self._owner is not None else None
+        if current is owner:
+            self._owner = None
+
+    def __deepcopy__(self, memo):
+        """Deep copy that follows the owner into the copied object graph.
+
+        ``weakref.ref`` is deepcopy-atomic, so without this the copy of a
+        cache-attached SCCF would hold a cache still bound to the *original*
+        stack — unbindable for as long as the original lives.  Re-pointing
+        through ``memo`` makes the copied cache belong to the copied owner
+        (deepcopying a bare owned cache copies its owner too — caches and
+        stacks travel together).
+        """
+
+        clone = self.__class__.__new__(self.__class__)
+        memo[id(self)] = clone
+        for name, value in self.__dict__.items():
+            if name == "_owner":
+                owner = value() if value is not None else None
+                clone._owner = (
+                    None if owner is None else weakref.ref(copy.deepcopy(owner, memo))
+                )
+            else:
+                setattr(clone, name, copy.deepcopy(value, memo))
+        return clone
+
+    @property
+    def layers(self) -> List[LRUCache]:
+        return [self.embeddings, self.neighbors, self.scores, self.recommendations]
+
+    def stats(self) -> CacheStats:
+        """A snapshot of the per-layer counters (a :class:`CacheStats` report).
+
+        The returned report holds *copies* of the counters, so it can be kept
+        for before/after comparisons while traffic keeps flowing; the live
+        counters stay on each layer's ``stats`` attribute.
+        """
+
+        return CacheStats(layers=[replace(layer.stats) for layer in self.layers])
+
+    def clear(self) -> None:
+        """Drop every entry in every layer (used when the model is re-fitted)."""
+
+        for layer in self.layers:
+            layer.clear()
+
+    def reset_stats(self) -> None:
+        for layer in self.layers:
+            layer.reset_stats()
+
+    def __len__(self) -> int:
+        return sum(len(layer) for layer in self.layers)
+
+
+def serve_batch(layer, keys, tokens, compute) -> List[Any]:
+    """Batched cache-through: probe ``layer`` per key, recompute misses in one call.
+
+    The one scaffold every cached layer shares — probe, collect the missing
+    positions, recompute them together, store the fresh values — lives here
+    so the invalidation logic cannot drift between call sites.
+    ``compute(missing_positions)`` returns one fresh value per missing
+    position (values are stored by reference: pass private copies for
+    mutable values).  ``layer=None`` (cache disabled, or the index exposes
+    no epoch) computes everything and stores nothing.  Returns the values
+    aligned with ``keys``.
+    """
+
+    values: List[Any] = [MISS] * len(keys)
+    if layer is not None:
+        for position, (key, token) in enumerate(zip(keys, tokens)):
+            values[position] = layer.get(key, token)
+    missing = [position for position, value in enumerate(values) if value is MISS]
+    if missing:
+        fresh = compute(missing)
+        for position, value in zip(missing, fresh):
+            values[position] = value
+            if layer is not None:
+                layer.put(keys[position], tokens[position], value)
+    return values
+
+
+def history_fingerprint(history) -> Tuple[int, int, int]:
+    """Fingerprint of a history: ``(length, last item, content hash)``.
+
+    The per-user version counter alone pins the history for version-tracked
+    flows (server state is append-only within a version), but the public
+    ``history``/``histories`` parameters let callers score *any* sequence
+    for a user — two different explicit histories must land on different
+    cache entries, so the fingerprint is part of the *key* (keys are where
+    non-monotonic inputs belong; tokens hold only monotonic counters).
+    Hashing a tuple of ints is O(len(history)) but it only runs on paths
+    that would otherwise run model inference over the same history (never
+    on the O(1) recommendation-layer fast path), and no index or model
+    state is ever hashed.
+    """
+
+    if history is None:
+        return (-1, -1, 0)
+    length = len(history)
+    last = int(history[length - 1]) if length else -1
+    return (length, last, hash(tuple(history)))

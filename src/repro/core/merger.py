@@ -119,6 +119,18 @@ class IntegratingMLP:
             # the skip interpolation; the MLP learns residual corrections.
             final_layer = list(self.network.network)[-1]
             final_layer.weight.data[:] = 0.0
+        # Frozen weight snapshot for the pure-NumPy serving forward; rebuilt
+        # after every fit and lazily on first predict (see :meth:`freeze`).
+        self._frozen: Optional[Tuple[List[Tuple[str, Optional[np.ndarray], Optional[np.ndarray]]], Optional[np.ndarray]]] = None
+        #: monotonic weight-change counter, bumped by :meth:`fit` and
+        #: :meth:`freeze`; serving caches fold it into their tokens so a
+        #: merger re-trained behind a fitted SCCF's back invalidates every
+        #: fused score/recommendation entry.
+        self.generation = 0
+        # Remembers that freeze() met a module it cannot mirror, so predict()
+        # settles on the tensor path instead of retrying (and bumping the
+        # generation) on every call.
+        self._freeze_failed = False
         self.loss_history: List[float] = []
         self.validation_history: List[float] = []
 
@@ -199,6 +211,7 @@ class IntegratingMLP:
         integrating model".
         """
 
+        self.generation += 1
         usable: List[Tuple[np.ndarray, int]] = []
         for features, target in examples:
             position = np.where(features.candidate_items == target)[0]
@@ -274,6 +287,7 @@ class IntegratingMLP:
             self.network.load_state_dict(best_state[0])
             self.skip_weights.data = best_state[1]
         self.network.eval()
+        self.freeze()
         return self
 
     def _sample_listwise_rows(self, chunk: List[Tuple[np.ndarray, int]]) -> np.ndarray:
@@ -322,9 +336,104 @@ class IntegratingMLP:
     # ------------------------------------------------------------------ #
     # fused scoring (eq. 15)
     # ------------------------------------------------------------------ #
-    def predict(self, features: CandidateFeatures) -> np.ndarray:
-        """Fused scores ``r̂^fi`` for one user's candidate items (same order)."""
+    def freeze(self, _lazy: bool = False) -> bool:
+        """Snapshot the weights for the pure-NumPy serving forward.
 
+        Serving never needs gradients, yet :meth:`_forward_tensor` still
+        builds an ``nn.Tensor`` autograd graph per request; on the small
+        candidate matrices of a single user that graph construction dominates
+        the arithmetic.  ``freeze`` copies the layer weights (and the skip
+        weights) into plain arrays that :meth:`predict` runs through
+        :meth:`_forward_frozen` instead.  Returns ``False`` — leaving the
+        tensor path in charge — when the network contains a module the frozen
+        forward does not know (a custom activation).
+
+        The snapshot is rebuilt at the end of every :meth:`fit`; call
+        ``freeze`` again (or :meth:`thaw`) after mutating weights by hand.
+        Either way the ``generation`` counter advances, so serving caches
+        drop entries computed under the old weights.  (``_lazy`` marks the
+        snapshot :meth:`predict` builds on first use: the weights are
+        unchanged since the last generation bump, and a mid-request bump
+        would store that request's cache entries under an already-stale
+        token.)
+        """
+
+        if not _lazy:
+            self.generation += 1
+        layers: List[Tuple[str, Optional[np.ndarray], Optional[np.ndarray]]] = []
+        for module in self.network.network:
+            if isinstance(module, nn.Linear):
+                bias = None if module.bias is None else module.bias.data.copy()
+                layers.append(("linear", module.weight.data.copy(), bias))
+            elif isinstance(module, nn.ReLU):
+                layers.append(("relu", None, None))
+            elif isinstance(module, nn.Sigmoid):
+                layers.append(("sigmoid", None, None))
+            elif isinstance(module, nn.Tanh):
+                layers.append(("tanh", None, None))
+            elif isinstance(module, nn.Dropout):
+                continue  # inactive in eval mode — nothing to snapshot
+            else:
+                self._frozen = None
+                self._freeze_failed = True
+                return False
+        skip = self.skip_weights.data.copy() if self.score_skip else None
+        self._frozen = (layers, skip)
+        self._freeze_failed = False
+        return True
+
+    def thaw(self) -> None:
+        """Drop the frozen snapshot; :meth:`predict` re-freezes lazily.
+
+        Like :meth:`freeze`, advances the ``generation`` counter: thaw is a
+        documented hook after hand-mutating weights, and a cache hit would
+        otherwise short-circuit the lazy re-freeze that records the change.
+        """
+
+        self.generation += 1
+        self._frozen = None
+        self._freeze_failed = False
+
+    def _forward_frozen(self, features: np.ndarray) -> np.ndarray:
+        """Pure-NumPy mirror of :meth:`_forward_tensor` over the snapshot.
+
+        Runs the same operations in the same order on the same float64
+        arrays, so outputs match the tensor path to float precision without
+        constructing any autograd graph.
+        """
+
+        layers, skip = self._frozen
+        x = np.asarray(features, dtype=np.float64)
+        for kind, weight, bias in layers:
+            if kind == "linear":
+                x = x @ weight
+                if bias is not None:
+                    x = x + bias
+            elif kind == "relu":
+                x = np.maximum(x, 0.0)
+            elif kind == "sigmoid":
+                # Mirror Tensor.sigmoid exactly, including its overflow clip.
+                x = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+            else:
+                x = np.tanh(x)
+        logits = x.reshape(-1)
+        if skip is not None:
+            score_block = np.asarray(features, dtype=np.float64)[:, self.input_dim - 2:]
+            logits = logits + (score_block * skip).sum(axis=1)
+        return logits
+
+    def predict(self, features: CandidateFeatures) -> np.ndarray:
+        """Fused scores ``r̂^fi`` for one user's candidate items (same order).
+
+        Serves through the frozen NumPy fast path (building it lazily on the
+        first call); falls back to the differentiable tensor forward only
+        when the network cannot be frozen.
+        """
+
+        if self._frozen is None and not self._freeze_failed:
+            self.freeze(_lazy=True)
+        if self._frozen is not None:
+            return self._forward_frozen(features.features)
         self.network.eval()
         with nn.no_grad():
             logits = self._forward_tensor(nn.Tensor(features.features))

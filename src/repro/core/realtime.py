@@ -33,6 +33,7 @@ user becomes retrievable as other users' neighbor after her first click.
 
 from __future__ import annotations
 
+import itertools
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -43,9 +44,16 @@ import numpy as np
 from ..ann import DEFAULT_RETRAIN_THRESHOLD, search_batch
 from ..data.datasets import RecDataset
 from ..models.base import exclude_seen_items
+from .cache import MISS
 from .sccf import SCCF, _NEG_INF
 
-__all__ = ["LatencyBreakdown", "MaintenanceReport", "RealTimeServer", "EventBuffer"]
+__all__ = [
+    "LatencyBreakdown",
+    "MaintenanceReport",
+    "MaintenanceScheduler",
+    "RealTimeServer",
+    "EventBuffer",
+]
 
 
 @dataclass
@@ -101,23 +109,50 @@ class RealTimeServer:
         The dataset the model was fitted on; its training histories seed the
         per-user state.
     latency_window:
-        Number of most recent ingestion breakdowns kept for
-        :meth:`average_latency`.  A long-running server observes an unbounded
-        stream, so the window is bounded (a plain list would be a memory
-        leak).
+        Number of most recent ingestion breakdowns (and, separately, of
+        recommend latencies) kept for the latency reports.  A long-running
+        server observes an unbounded stream, so the windows are bounded (a
+        plain list would be a memory leak).
+    maintenance_every:
+        When set, attach a :class:`MaintenanceScheduler` that calls
+        :meth:`maintain` after every ``maintenance_every`` observed events,
+        so a skewed IVF index is re-clustered without any caller-side timer.
     """
 
-    def __init__(self, sccf: SCCF, dataset: RecDataset, latency_window: int = 4096) -> None:
+    #: distinguishes servers sharing one SCCF in the cache's request keys —
+    #: their streamed histories diverge while the shared version counters do
+    #: not, so one server must never be served another's cached list
+    _serials = itertools.count()
+
+    def __init__(
+        self,
+        sccf: SCCF,
+        dataset: RecDataset,
+        latency_window: int = 4096,
+        maintenance_every: Optional[int] = None,
+    ) -> None:
         if not getattr(sccf, "_fitted", False):
             raise ValueError("SCCF must be fitted before serving")
         if latency_window <= 0:
             raise ValueError("latency_window must be positive")
         self.sccf = sccf
         self.num_items = dataset.num_items
+        self._serial = next(RealTimeServer._serials)
         self._states: Dict[int, _UserState] = {}
         for user, sequence in dataset.train.user_sequences().items():
             self._states[user] = _UserState(history=list(sequence))
         self.latencies: Deque[LatencyBreakdown] = deque(maxlen=latency_window)
+        #: per-call recommend latencies in ms — tracked separately from the
+        #: ingestion breakdowns so a read-heavy workload's serving cost is
+        #: never conflated with ingestion cost (it used to be: only observe
+        #: recorded latencies, so ``average_latency`` reported ingestion cost
+        #: as if it were the serving cost).
+        self.recommend_latencies: Deque[float] = deque(maxlen=latency_window)
+        self.scheduler: Optional[MaintenanceScheduler] = (
+            MaintenanceScheduler(self, every_events=maintenance_every)
+            if maintenance_every is not None
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # streaming updates
@@ -228,6 +263,8 @@ class RealTimeServer:
             num_events=len(validated),
         )
         self.latencies.append(breakdown)
+        if self.scheduler is not None:
+            self.scheduler.notify(len(validated))
         return breakdown
 
     # ------------------------------------------------------------------ #
@@ -274,10 +311,37 @@ class RealTimeServer:
     # serving
     # ------------------------------------------------------------------ #
     def recommend(self, user_id: int, k: int = 50, exclude_seen: bool = True) -> List[int]:
-        """Top-``k`` fused candidates for the user's *current* (streamed) history."""
+        """Top-``k`` fused candidates for the user's *current* (streamed) history.
+
+        Repeat requests are served from the cache's ``recommendations``
+        layer when the SCCF instance carries a
+        :class:`~repro.core.cache.ServingCache`: the stored list is valid
+        while the user's version counter and the neighbor index epoch are
+        both unchanged — any ``observe`` (own or other users') or
+        ``maintain`` retrain invalidates it, so a hit is always bit-identical
+        to recomputing.  Latency is recorded in the ``recommend_latencies``
+        window (never mixed into the ingestion breakdowns).
+        """
 
         if k <= 0:
             return []
+        start = time.perf_counter()
+        user_id = int(user_id)
+        cache = self.sccf.cache
+        epoch = getattr(self.sccf.neighborhood.index, "epoch", None)
+        token = key = None
+        if cache is not None and epoch is not None:
+            # The key carries everything non-monotonic the list depends on:
+            # the server serial (two servers sharing one SCCF hold different
+            # streamed histories under the same shared counters) and the
+            # scoring mode (set_mode() changes the ranking without touching
+            # any counter).  The token holds only monotonic counters.
+            token = self.sccf._serving_token(user_id, epoch)
+            key = (self._serial, user_id, k, exclude_seen, self.sccf.mode)
+            value = cache.recommendations.get(key, token)
+            if value is not MISS:
+                self.recommend_latencies.append((time.perf_counter() - start) * 1000.0)
+                return list(value)
         state = self._states.get(user_id, _UserState())
         scores = self.sccf.score_items(user_id, history=state.history)
         # In "sccf" mode non-candidates carry the finite _NEG_INF sentinel;
@@ -285,19 +349,25 @@ class RealTimeServer:
         scores = np.where(scores > _NEG_INF, scores, -np.inf)
         if exclude_seen:
             scores = exclude_seen_items(scores, state.history)
-        k = min(k, self.num_items)
-        top = np.argpartition(-scores, kth=k - 1)[:k]
+        top_k = min(k, self.num_items)
+        top = np.argpartition(-scores, kth=top_k - 1)[:top_k]
         ordered = top[np.argsort(-scores[top], kind="stable")]
-        return [int(item) for item in ordered if np.isfinite(scores[item])]
+        result = [int(item) for item in ordered if np.isfinite(scores[item])]
+        if key is not None:
+            cache.recommendations.put(key, token, tuple(result))
+        self.recommend_latencies.append((time.perf_counter() - start) * 1000.0)
+        return result
 
     def history(self, user_id: int) -> List[int]:
         return list(self._states.get(user_id, _UserState()).history)
 
     def average_latency(self) -> Optional[LatencyBreakdown]:
-        """Per-event mean latency over the bounded window (Table III rows).
+        """Per-event mean *ingestion* latency over the bounded window (Table III rows).
 
         Batch entries are weighted by the number of events they coalesced, so
         per-event and micro-batched ingestion report comparable numbers.
+        Serving cost is tracked separately — see
+        :meth:`average_recommend_latency_ms`.
         """
 
         if not self.latencies:
@@ -308,6 +378,77 @@ class RealTimeServer:
             identifying_ms=float(sum(entry.identifying_ms for entry in self.latencies))
             / total_events,
         )
+
+    def average_recommend_latency_ms(self) -> Optional[float]:
+        """Mean per-call :meth:`recommend` latency over the bounded window.
+
+        ``None`` until the first recommend — a read-heavy workload's serving
+        cost is reported here, never through :meth:`average_latency` (which
+        covers ingestion only).
+        """
+
+        if not self.recommend_latencies:
+            return None
+        return float(sum(self.recommend_latencies)) / len(self.recommend_latencies)
+
+
+class MaintenanceScheduler:
+    """Event-count trigger for :meth:`RealTimeServer.maintain` (off the hot path).
+
+    A long-running server streams cold-start adds into whichever IVF cells
+    the frozen centroids pick, so the index slowly skews; somebody has to
+    call :meth:`~RealTimeServer.maintain` periodically.  This scheduler does
+    it by event count: every ``every_events`` observed events (counted across
+    batches) one maintenance pass runs — after the ingestion breakdown is
+    recorded, so the trigger never inflates the hot-path timings.  Because
+    ``retrain`` bumps the index epoch, an attached serving cache drops every
+    epoch-validated entry automatically and post-retrain serving stays
+    consistent without any extra wiring.
+
+    Construct it directly around any server, or let the server own one via
+    ``RealTimeServer(..., maintenance_every=N)``.
+    """
+
+    def __init__(
+        self,
+        server: "RealTimeServer",
+        every_events: int = 1024,
+        imbalance_threshold: Optional[float] = None,
+        report_window: int = 64,
+    ) -> None:
+        if every_events <= 0:
+            raise ValueError("every_events must be positive")
+        if report_window <= 0:
+            raise ValueError("report_window must be positive")
+        self.server = server
+        self.every_events = every_events
+        self.imbalance_threshold = imbalance_threshold
+        self.events_since_maintenance = 0
+        #: total number of maintenance passes triggered over the lifetime
+        self.passes_run = 0
+        #: the most recent reports, in order — bounded like the server's
+        #: latency windows (a long-running server triggers forever, so an
+        #: unbounded list would be a memory leak)
+        self.reports: Deque[MaintenanceReport] = deque(maxlen=report_window)
+
+    def notify(self, num_events: int = 1) -> Optional[MaintenanceReport]:
+        """Count ``num_events`` freshly observed events; maybe run maintenance.
+
+        Returns the :class:`MaintenanceReport` when a pass ran, else ``None``.
+        The counter resets whether or not the pass retrained, so a balanced
+        index is only *checked* every ``every_events`` events.
+        """
+
+        if num_events < 0:
+            raise ValueError("num_events must be non-negative")
+        self.events_since_maintenance += num_events
+        if self.events_since_maintenance < self.every_events:
+            return None
+        self.events_since_maintenance = 0
+        report = self.server.maintain(self.imbalance_threshold)
+        self.reports.append(report)
+        self.passes_run += 1
+        return report
 
 
 class EventBuffer:

@@ -30,6 +30,7 @@ import numpy as np
 from ..ann import NeighborIndex
 from ..data.datasets import RecDataset
 from ..models.base import InductiveUIModel, Recommender, exclude_seen_items
+from .cache import CacheStats, ServingCache, history_fingerprint, serve_batch
 from .merger import CandidateFeatures, IntegratingMLP
 from .user_neighborhood import UserNeighborhoodComponent
 
@@ -48,6 +49,10 @@ class SCCFConfig:
     ``num_shards > 1`` partitions the user-neighbor index across that many
     scatter-gather shards with a threaded fan-out (bit-identical results,
     lower per-worker load — the in-process rehearsal of multi-worker serving).
+    ``cache_capacity > 0`` attaches a versioned
+    :class:`~repro.core.cache.ServingCache` of that per-layer capacity, so
+    repeat requests skip recomputing embeddings, neighbor lists and fused
+    scores whose version/epoch counters are unchanged.
     """
 
     num_neighbors: int = 100
@@ -58,6 +63,7 @@ class SCCFConfig:
     merger_learning_rate: float = 0.003
     merger_batch_size: int = 256
     num_shards: int = 1
+    cache_capacity: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -69,6 +75,8 @@ class SCCFConfig:
             raise ValueError("recency_window must be positive")
         if self.num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be non-negative (0 disables the cache)")
 
 
 class SCCF(Recommender):
@@ -79,6 +87,7 @@ class SCCF(Recommender):
         ui_model: InductiveUIModel,
         config: Optional[SCCFConfig] = None,
         neighbor_index: Optional[NeighborIndex] = None,
+        cache: Optional[ServingCache] = None,
     ) -> None:
         if not isinstance(ui_model, InductiveUIModel):
             raise TypeError("SCCF requires an inductive UI model (FISM, SASRec, YouTubeDNN, ...)")
@@ -95,6 +104,11 @@ class SCCF(Recommender):
             index=neighbor_index,
             num_shards=self.config.num_shards,
         )
+        if cache is None and self.config.cache_capacity > 0:
+            cache = ServingCache(self.config.cache_capacity)
+        #: the versioned serving cache shared by the scoring stack (or None)
+        self.cache: Optional[ServingCache] = None
+        self.attach_cache(cache)
         self.merger: Optional[IntegratingMLP] = None
         self.mode: str = "sccf"
         self._user_histories: Dict[int, List[int]] = {}
@@ -278,26 +292,127 @@ class SCCF(Recommender):
 
         self._require_fitted()
         resolved = self._resolve_batch_histories(user_ids, histories)
-        user_embeddings = self.ui_model.infer_user_embeddings_batch(resolved)
+        if self.mode == "sccf":
+            # Embeddings are fetched lazily inside the fused path: a request
+            # served from the scores layer never needs them.
+            return self._fused_scores_batch(user_ids, resolved)
+        user_embeddings = self._batch_user_embeddings(user_ids, resolved)
         if self.mode == "ui":
             return user_embeddings @ self.ui_model.item_embeddings().T
-        if self.mode == "uu":
-            return self.neighborhood.score_for_users(
-                user_ids, user_embeddings=user_embeddings, histories=resolved
-            )
-
-        features_batch = self._candidate_features_batch(
-            user_ids,
-            resolved,
-            item_embeddings=self.ui_model.item_embeddings(),
-            user_embeddings=user_embeddings,
+        return self.neighborhood.score_for_users(
+            user_ids, user_embeddings=user_embeddings, histories=resolved
         )
-        scores = np.full((len(user_ids), self.num_items), _NEG_INF, dtype=np.float64)
-        for row, features in enumerate(features_batch):
-            if features is None:
-                continue
-            scores[row, features.candidate_items] = self.merger.predict(features)
-        return scores
+
+    # ------------------------------------------------------------------ #
+    # versioned serving cache
+    # ------------------------------------------------------------------ #
+    def attach_cache(self, cache: Optional[ServingCache]) -> "SCCF":
+        """Attach a serving cache to every layer of this stack (``None`` detaches).
+
+        The one sanctioned wiring path: binds the cache to this SCCF (one
+        stack per cache — entry keys carry no model discriminator, so a
+        shared cache would cross-serve entries) and hands it to the
+        neighborhood component.
+        """
+
+        if cache is not None:
+            cache.bind(self)  # before the swap: a rejected bind changes nothing
+        outgoing = getattr(self, "cache", None)
+        if outgoing is not None and outgoing is not cache:
+            outgoing.unbind(self)
+        self.cache = cache
+        self.neighborhood.cache = cache
+        return self
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Hit/miss/invalidation counters of the serving cache (None when disabled)."""
+
+        return self.cache.stats() if self.cache is not None else None
+
+    def _serving_token(self, user_id: int, epoch: int) -> Tuple[int, int, int]:
+        """The monotonic counter triple every fused-result cache entry validates against.
+
+        One definition consumed by both the ``scores`` layer
+        (:meth:`_fused_scores_batch`) and the server's ``recommendations``
+        layer, so the invalidation contract cannot drift between them.
+        """
+
+        return (self.neighborhood.user_version(user_id), epoch, self.merger.generation)
+
+    def _batch_user_embeddings(self, user_ids: Sequence[int], resolved: Sequence[Sequence[int]]):
+        """Per-user embeddings with the cache's ``embeddings`` layer applied.
+
+        An embedding is a pure function of the history (model weights only
+        change through :meth:`fit`, which clears the cache), so entries are
+        keyed on ``(user, history fingerprint)`` with a constant token: they
+        survive every mutation elsewhere, including ``retrain``.  Only the
+        cache misses pay the batched UI forward.
+        """
+
+        if self.cache is None or not len(user_ids):
+            return self.ui_model.infer_user_embeddings_batch(resolved)
+        keys = [
+            (int(user), history_fingerprint(history))
+            for user, history in zip(user_ids, resolved)
+        ]
+
+        def compute(missing: List[int]) -> List[np.ndarray]:
+            fresh = np.asarray(
+                self.ui_model.infer_user_embeddings_batch([resolved[i] for i in missing])
+            )
+            # copy(): caching a view would pin the whole batch array in
+            # memory for the life of each entry
+            return [row.copy() for row in fresh]
+
+        rows = serve_batch(self.cache.embeddings, keys, [0] * len(keys), compute)
+        return np.stack(rows)
+
+    def _fused_scores_batch(
+        self,
+        user_ids: Sequence[int],
+        resolved: Sequence[Sequence[int]],
+    ) -> np.ndarray:
+        """Fused ("sccf"-mode) score rows with the ``scores`` cache layer applied.
+
+        Rows are keyed on ``(user, history fingerprint)`` and validated
+        against ``(user_version, index_epoch, merger generation)`` — any
+        mutation anywhere in the neighbor index bumps the epoch (other
+        users' embeddings and recent items feed the fused scores), and a
+        re-trained merger bumps its generation.  Misses run batched
+        candidate construction as before, fetching their user embeddings
+        (through the embeddings layer) only for the rows that need them.
+        """
+
+        item_embeddings = self.ui_model.item_embeddings()
+        epoch = getattr(self.neighborhood.index, "epoch", None)
+        cache_layer = self.cache.scores if self.cache is not None and epoch is not None else None
+        keys: List[Optional[Tuple]] = [None] * len(user_ids)
+        tokens: List[Optional[Tuple]] = [None] * len(user_ids)
+        if cache_layer is not None:  # keep the uncached path free of hashing
+            for row, (user, history) in enumerate(zip(user_ids, resolved)):
+                keys[row] = (int(user), history_fingerprint(history))
+                tokens[row] = self._serving_token(user, epoch)
+
+        def compute(missing: List[int]) -> List[np.ndarray]:
+            missing_users = [user_ids[row] for row in missing]
+            missing_histories = [resolved[row] for row in missing]
+            features_batch = self._candidate_features_batch(
+                missing_users,
+                missing_histories,
+                item_embeddings=item_embeddings,
+                user_embeddings=self._batch_user_embeddings(missing_users, missing_histories),
+            )
+            fresh: List[np.ndarray] = []
+            for features in features_batch:
+                row = np.full(self.num_items, _NEG_INF, dtype=np.float64)
+                if features is not None:
+                    row[features.candidate_items] = self.merger.predict(features)
+                fresh.append(row)
+            return fresh
+
+        rows = serve_batch(cache_layer, keys, tokens, compute)
+        # stack() copies, so cached rows stay private to the cache.
+        return np.stack(rows) if rows else np.empty((0, self.num_items), dtype=np.float64)
 
     def candidate_lists(
         self, user_id: int, history: Optional[Sequence[int]] = None

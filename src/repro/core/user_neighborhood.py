@@ -35,6 +35,7 @@ from ..ann import BruteForceIndex, NeighborIndex, ShardedIndex, search_batch, up
 from ..data.datasets import RecDataset
 from ..data.sequences import recent_window
 from ..models.base import InductiveUIModel
+from .cache import ServingCache, history_fingerprint, serve_batch
 
 __all__ = ["UserNeighborhoodComponent"]
 
@@ -123,6 +124,14 @@ class UserNeighborhoodComponent:
         # rows are overlaid at scoring time so a real-time update stream never
         # pays an O(num_users) rebuild per event.
         self._recent_overrides: Dict[int, np.ndarray] = {}
+        # Per-user embedding version counters: bumped by update_users/add_users
+        # (and therefore by every RealTimeServer.observe), so serving caches
+        # can validate anything derived from a user's state in O(1).
+        self._user_versions: Dict[int, int] = {}
+        #: optional :class:`~repro.core.cache.ServingCache`; when set (SCCF
+        #: attaches its own), :meth:`score_for_users` serves repeat
+        #: neighborhoods from the cache's ``neighbors`` layer.
+        self.cache: Optional[ServingCache] = None
         self._fitted = False
 
     # ------------------------------------------------------------------ #
@@ -159,8 +168,26 @@ class UserNeighborhoodComponent:
         self._recent_dirty = True
         self._user_embeddings = embeddings
         self.index.build(embeddings)
+        # A re-fit changes every user's embedding under reset version
+        # counters, so any attached cache must start empty.
+        self._user_versions = {}
+        if self.cache is not None:
+            self.cache.clear()
         self._fitted = True
         return self
+
+    def user_version(self, user_id: int) -> int:
+        """Monotonic per-user mutation counter (0 until the user is first updated).
+
+        Bumped by :meth:`update_users` / :meth:`add_users`; cache entries
+        derived from a user's history or embedding are validated against it.
+        """
+
+        return self._user_versions.get(int(user_id), 0)
+
+    def _bump_versions(self, user_ids: Sequence[int]) -> None:
+        for user in user_ids:
+            self._user_versions[user] = self._user_versions.get(user, 0) + 1
 
     def _require_fitted(self) -> None:
         if not self._fitted or self._user_embeddings is None:
@@ -304,6 +331,7 @@ class UserNeighborhoodComponent:
         user_ids = [int(user) for user in user_ids]
         if histories is not None and len(histories) != len(user_ids):
             raise ValueError("histories must have one entry per user id")
+        explicit_embeddings = user_embeddings is not None
         if user_embeddings is None:
             for user in user_ids:
                 if not 0 <= user < self.num_users:
@@ -314,9 +342,8 @@ class UserNeighborhoodComponent:
             if user_embeddings.shape[0] != len(user_ids):
                 raise ValueError("user_embeddings must have one row per user id")
 
-        exclusions = [np.asarray([user], dtype=np.int64) for user in user_ids]
-        neighborhoods = search_batch(
-            self.index, user_embeddings, self.num_neighbors, exclude_per_query=exclusions
+        neighborhoods = self._batch_neighborhoods(
+            user_ids, user_embeddings, histories, explicit_embeddings
         )
 
         scores = np.zeros((len(user_ids), self.num_items), dtype=np.float64)
@@ -328,6 +355,50 @@ class UserNeighborhoodComponent:
                 exclude_items = self._recent_items.get(user_ids[row], [])
             self._zero_excluded(scores[row], exclude_items)
         return scores
+
+    def _batch_neighborhoods(
+        self,
+        user_ids: Sequence[int],
+        user_embeddings: np.ndarray,
+        histories: Optional[Sequence[Optional[Sequence[int]]]],
+        explicit_embeddings: bool = False,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-user ``(neighbor_ids, similarities)`` with cache-aware batching.
+
+        Without a cache this is one ``search_batch`` over the whole batch.
+        With one, each user's stored result is keyed on the inputs the
+        version counters cannot see — the history fingerprint and, when the
+        caller supplied the query embeddings explicitly
+        (``explicit_embeddings``), a hash of her query row — and validated
+        against ``(user_version, index_epoch)``: any index mutation anywhere
+        bumps the epoch and invalidates it.  Only the remaining rows pay the
+        batched search.  Indexes without an ``epoch`` counter (third-party
+        backends) disable this layer; results are then always recomputed.
+        """
+
+        epoch = getattr(self.index, "epoch", None)
+        cache_layer = self.cache.neighbors if self.cache is not None and epoch is not None else None
+        keys: List[Optional[Tuple]] = [None] * len(user_ids)
+        tokens: List[Optional[Tuple]] = [None] * len(user_ids)
+        if cache_layer is not None:  # keep the uncached path free of hashing
+            for row, user in enumerate(user_ids):
+                history = histories[row] if histories is not None else None
+                query_key = (
+                    hash(np.ascontiguousarray(user_embeddings[row]).tobytes())
+                    if explicit_embeddings
+                    else None
+                )
+                keys[row] = (user, history_fingerprint(history), query_key)
+                tokens[row] = (self.user_version(user), epoch)
+
+        def compute(missing: List[int]) -> List[Tuple[np.ndarray, np.ndarray]]:
+            rows = np.asarray(missing, dtype=np.int64)
+            exclusions = [np.asarray([user_ids[row]], dtype=np.int64) for row in missing]
+            return search_batch(
+                self.index, user_embeddings[rows], self.num_neighbors, exclude_per_query=exclusions
+            )
+
+        return serve_batch(cache_layer, keys, tokens, compute)
 
     # ------------------------------------------------------------------ #
     # real-time maintenance
@@ -378,6 +449,7 @@ class UserNeighborhoodComponent:
         self._user_embeddings[positions] = embeddings
         update_batch(self.index, positions, embeddings)
         self._set_recent_items(user_ids, histories)
+        self._bump_versions(user_ids)
         return embeddings
 
     def add_users(
@@ -425,6 +497,7 @@ class UserNeighborhoodComponent:
             self.index.build(self._user_embeddings)
         self.num_users = len(self._user_embeddings)
         self._set_recent_items(user_ids, histories)
+        self._bump_versions(user_ids)
         return embeddings
 
     def _resolve_embeddings(

@@ -162,11 +162,15 @@ def make_sccf(
     scale: ExperimentScale,
     num_neighbors: Optional[int] = None,
     num_shards: int = 1,
+    cache_capacity: int = 0,
 ) -> SCCF:
     """Wrap a UI model in the SCCF framework with the scale's settings.
 
     ``num_shards > 1`` serves the user-neighbor index through a scatter-gather
     :class:`~repro.ann.sharded.ShardedIndex` (same results, sharded load).
+    ``cache_capacity > 0`` attaches the versioned serving cache
+    (:class:`~repro.core.cache.ServingCache`) so repeat-visitor requests are
+    served without recomputation.
     """
 
     config = SCCFConfig(
@@ -175,6 +179,7 @@ def make_sccf(
         recency_window=15,
         merger_epochs=scale.merger_epochs,
         num_shards=num_shards,
+        cache_capacity=cache_capacity,
         seed=scale.seed,
     )
     return SCCF(ui_model, config)
