@@ -7,13 +7,17 @@ import numpy as np
 from .brute_force import BruteForceIndex, top_k_rows
 from .ivf import DEFAULT_RETRAIN_THRESHOLD, IVFIndex, kmeans
 from .metrics import cosine_similarity, inner_product, normalize_rows, pairwise_similarity
+from .process_sharded import ProcessShardedIndex
 from .sharded import ShardedIndex
+from .shm import SharedMatrix
 
 __all__ = [
     "NeighborIndex",
     "BruteForceIndex",
     "IVFIndex",
     "ShardedIndex",
+    "ProcessShardedIndex",
+    "SharedMatrix",
     "DEFAULT_RETRAIN_THRESHOLD",
     "kmeans",
     "top_k_rows",

@@ -24,7 +24,7 @@ import numpy as np
 
 from .metrics import normalize_rows
 
-__all__ = ["BruteForceIndex", "top_k_rows"]
+__all__ = ["BruteForceIndex", "prepare_rows", "top_k_rows"]
 
 _SUPPORTED_DTYPES = (np.float32, np.float64)
 
@@ -45,6 +45,22 @@ def check_new_ids(existing: Optional[np.ndarray], new_ids: np.ndarray) -> None:
             "ids collide with ids already in the index "
             "(duplicate ids break exclusion masking)"
         )
+
+
+def prepare_rows(vectors: np.ndarray, metric: str, dtype: np.dtype) -> np.ndarray:
+    """Cast rows to ``dtype`` and, for the cosine metric, L2-normalize them.
+
+    The exact cast→normalize→cast sequence scored rows and queries go
+    through on every backend — the unsharded index, the thread shards and
+    the process shards' shared-memory store all call this one helper, so the
+    bit-identity contract between them cannot drift through a re-ordered
+    cast.
+    """
+
+    vectors = np.asarray(vectors, dtype=dtype)
+    if metric == "cosine":
+        return normalize_rows(vectors).astype(dtype, copy=False)
+    return vectors
 
 
 def top_k_rows(
@@ -171,7 +187,7 @@ class BruteForceIndex:
             raise ValueError("cannot build an index from zero vectors")
         self._vectors = vectors.copy()
         if self.metric == "cosine":
-            self._normalized = normalize_rows(vectors).astype(self.dtype, copy=False)
+            self._normalized = prepare_rows(vectors, self.metric, self.dtype)
         else:
             self._normalized = self._vectors
         self._ids = (
@@ -215,7 +231,7 @@ class BruteForceIndex:
             raise ValueError("position out of range")
         self._vectors[positions] = vectors
         if self.metric == "cosine":
-            self._normalized[positions] = normalize_rows(vectors).astype(self.dtype, copy=False)
+            self._normalized[positions] = prepare_rows(vectors, self.metric, self.dtype)
         self.epoch += 1
 
     def add(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> "BruteForceIndex":
@@ -244,7 +260,7 @@ class BruteForceIndex:
         self._vectors = np.concatenate([self._vectors, vectors])
         if self.metric == "cosine":
             self._normalized = np.concatenate(
-                [self._normalized, normalize_rows(vectors).astype(self.dtype, copy=False)]
+                [self._normalized, prepare_rows(vectors, self.metric, self.dtype)]
             )
         else:
             self._normalized = self._vectors
@@ -271,9 +287,7 @@ class BruteForceIndex:
             queries = queries[None, :]
         if queries.ndim != 2:
             raise ValueError("queries must be 1-d or 2-d")
-        if self.metric == "cosine":
-            queries = normalize_rows(queries).astype(self.dtype, copy=False)
-        return queries
+        return prepare_rows(queries, self.metric, self.dtype)
 
     def search(
         self,

@@ -1,0 +1,498 @@
+"""Process-level shard workers over a shared-memory vector store.
+
+:class:`~repro.ann.sharded.ShardedIndex` fans per-shard searches out over a
+``ThreadPoolExecutor`` — the in-process *rehearsal* for this module.  Python
+threads only overlap inside BLAS (the GIL serializes everything else: query
+prep, exclusion masking, ``top_k_rows`` selection, result assembly), so the
+thread backend buys latency hiding but not real multi-core throughput.
+
+:class:`ProcessShardedIndex` is the deployment-shaped version: one persistent
+**worker process per shard**, each mapping its shard of the vector matrix
+from a :class:`~repro.ann.shm.SharedMatrix` — the same bytes the parent
+writes, zero-copy.  The division of labor:
+
+* **Parent** owns all mutation.  ``build`` / ``add`` / ``update_batch`` write
+  normalized rows straight into the shared segments, routed by the same
+  ``p % S`` round-robin arithmetic as the thread backend, and bump ``epoch``
+  so :class:`~repro.core.cache.ServingCache` invalidation works unchanged.
+  Workers never hear about ordinary mutations: the live row count rides along
+  with every search command, and only a capacity-doubling growth triggers a
+  re-attach round-trip.
+* **Workers** answer ``search`` commands: slice a ``(size, dim)`` view of
+  their shared shard, run the very same score matmul + exclusion masking +
+  :func:`~repro.ann.brute_force.top_k_rows` selection a per-shard
+  ``BruteForceIndex`` would, and ship the per-shard top-k back over the
+  command pipe.  The parent scatters the prepared query block to every live
+  worker, gathers, and merges with the identical
+  :meth:`~repro.ann.sharded.ScatterGatherMixin._merge_row` re-rank — so
+  results are **bit-identical** to the unsharded ``BruteForceIndex`` (the
+  single-row-shard gemv caveat of the thread backend applies equally).
+
+Workers are spawn-safe (the worker entrypoint is a module-level function and
+all hand-off state is picklable or named shared memory), lifecycle is
+explicit — ``close()`` stops the workers, joins them, and unlinks every
+segment; the context manager and ``__del__`` call it — and a worker death
+surfaces as a clear ``RuntimeError`` instead of a hang.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .brute_force import apply_exclusions, check_new_ids, prepare_rows, top_k_rows
+from .sharded import ScatterGatherMixin
+from .shm import SharedMatrix
+
+__all__ = ["ProcessShardedIndex"]
+
+_SUPPORTED_DTYPES = (np.float32, np.float64)
+
+
+def _execute(matrix: Optional[SharedMatrix], command: Tuple) -> Tuple[Tuple, Optional[SharedMatrix]]:
+    """One worker command → ``(response, matrix)``; pure, so tests run it in-process.
+
+    ``response`` is ``("ok", payload)`` or ``("error", message)``.  The
+    returned matrix replaces the worker's current one (the ``attach`` command
+    swaps in freshly mapped segments after a capacity doubling).
+    """
+
+    op = command[0]
+    if op == "ping":
+        return ("ok", "pong"), matrix
+    if op == "attach":
+        if matrix is not None:
+            matrix.close()
+        return ("ok", True), SharedMatrix.attach(command[1])
+    if op == "search":
+        _, queries, k, exclusions, size = command
+        if matrix is None:
+            return ("error", "worker has no attached shard"), matrix
+        vectors, ids = matrix.view(size)
+        # Exactly what a per-shard BruteForceIndex does with pre-normalized
+        # rows: one matmul, exclusion masking, deterministic top-k.  Queries
+        # arrive already prepared (cast + normalized once in the parent).
+        scores = queries @ vectors.T
+        apply_exclusions(scores, ids, exclusions)
+        return ("ok", top_k_rows(scores, k, ids)), matrix
+    return ("error", f"unknown command {op!r}"), matrix
+
+
+def _shard_worker_main(conn) -> None:  # pragma: no cover
+    """Worker loop (runs in spawned child processes — covered by _execute tests).
+
+    Workers start bare; the parent's first ``attach`` command maps their
+    shard's shared segments.
+    """
+
+    matrix: Optional[SharedMatrix] = None
+    try:
+        while True:
+            try:
+                command = conn.recv()
+            except (EOFError, OSError):
+                break
+            if command[0] == "stop":
+                break
+            try:
+                response, matrix = _execute(matrix, command)
+            except Exception as exc:
+                response = ("error", f"{type(exc).__name__}: {exc}")
+            try:
+                conn.send(response)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        if matrix is not None:
+            matrix.close()
+        conn.close()
+
+
+class ProcessShardedIndex(ScatterGatherMixin):
+    """Scatter-gather top-k search over S persistent worker *processes*.
+
+    Drop-in for :class:`~repro.ann.sharded.ShardedIndex` where the fan-out
+    must actually use multiple cores.  Results are bit-identical to the
+    unsharded :class:`~repro.ann.brute_force.BruteForceIndex`; mutations are
+    routed by the same ``p % S`` arithmetic and bump ``epoch`` for the
+    serving cache.  Unlike the thread backend, ``close()`` is terminal: the
+    workers and shared segments are gone, and any further call raises.
+
+    Parameters
+    ----------
+    num_shards:
+        Worker processes (one shard of the vector matrix each).
+    metric / dtype:
+        As on ``BruteForceIndex`` — ``"cosine"`` (rows L2-normalized once at
+        write time) or ``"inner"``; float32 by default.
+    start_method:
+        ``multiprocessing`` start method for the workers.  The default
+        ``"spawn"`` is safe everywhere (no forked locks, works under
+        coverage); ``"fork"``/``"forkserver"`` start faster where available.
+    initial_capacity:
+        Rows each shard's shared segments start with; appends double it
+        (workers re-attach on growth).
+    response_timeout:
+        Seconds to wait for a worker's reply before declaring it hung.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        metric: str = "cosine",
+        dtype: np.dtype = np.float32,
+        start_method: str = "spawn",
+        initial_capacity: int = 64,
+        response_timeout: float = 60.0,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if metric not in ("cosine", "inner"):
+            raise ValueError("metric must be 'cosine' or 'inner'")
+        dtype = np.dtype(dtype)
+        if dtype.type not in _SUPPORTED_DTYPES:
+            raise ValueError("dtype must be float32 or float64")
+        if initial_capacity <= 0:
+            raise ValueError("initial_capacity must be positive")
+        if response_timeout <= 0:
+            raise ValueError("response_timeout must be positive")
+        self.num_shards = num_shards
+        self.metric = metric
+        self.dtype = dtype
+        self.initial_capacity = initial_capacity
+        self.response_timeout = response_timeout
+        #: monotonically increasing mutation counter: bumped by every build /
+        #: add / update / update_batch, so serving caches can validate stored
+        #: search results in O(1) (see :mod:`repro.core.cache`).
+        self.epoch = 0
+        self._ctx = multiprocessing.get_context(start_method)
+        self._ids: Optional[np.ndarray] = None
+        self._dim: int = 0
+        self._id_order: Optional[np.ndarray] = None
+        self._matrices: List[SharedMatrix] = []
+        self._procs: List[multiprocessing.process.BaseProcess] = []
+        self._conns: List = []
+        self._closed = False
+        # Set when the worker protocol desynchronizes (a worker died, hung
+        # past the timeout, or answered with an error): replies for the
+        # failed round may still sit unread in the pipes, so serving another
+        # request could silently pair a new query with a stale reply.  Every
+        # subsequent call refuses until close().
+        self._failed = False
+
+    # ------------------------------------------------------------------ #
+    # worker pool plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def workers_alive(self) -> int:
+        """How many shard workers are currently running (0 before build/after close)."""
+
+        return sum(1 for proc in self._procs if proc.is_alive())
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ProcessShardedIndex is closed")
+        if self._failed:
+            raise RuntimeError(
+                "ProcessShardedIndex is in a failed state (a shard worker "
+                "died, hung, or errored; its command pipe may hold stale "
+                "replies) — close() the index and rebuild"
+            )
+
+    def _ensure_workers(self) -> None:
+        if self._procs:
+            return
+        for shard in range(self.num_shards):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_shard_worker_main,
+                args=(child_conn,),
+                name=f"shard-worker-{shard}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()  # the worker holds the only live child end now
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def _worker_died(self, shard: int) -> None:
+        exitcode = self._procs[shard].exitcode if shard < len(self._procs) else None
+        self._failed = True
+        raise RuntimeError(
+            f"shard worker {shard} died (exitcode {exitcode}); "
+            "close() the index and rebuild — its shard can no longer answer"
+        )
+
+    def _send(self, shard: int, command: Tuple) -> None:
+        try:
+            self._conns[shard].send(command)
+        except (BrokenPipeError, OSError):
+            self._worker_died(shard)
+
+    def _receive(self, shard: int):
+        conn = self._conns[shard]
+        deadline = time.monotonic() + self.response_timeout
+        while not conn.poll(0.05):
+            if not self._procs[shard].is_alive():
+                self._worker_died(shard)
+            if time.monotonic() > deadline:
+                # The late reply (and the other shards' unread ones) would
+                # desynchronize the pipes — refuse further serving.
+                self._failed = True
+                raise RuntimeError(
+                    f"shard worker {shard} did not answer within "
+                    f"{self.response_timeout:.0f}s; close() the index and rebuild"
+                )
+        try:
+            status, payload = conn.recv()
+        except (EOFError, OSError):
+            self._worker_died(shard)
+        if status != "ok":
+            # Unexpected by construction (the parent validates before
+            # sending), and sibling shards' replies are still queued — same
+            # desync hazard as a timeout.
+            self._failed = True
+            raise RuntimeError(f"shard worker {shard} failed: {payload}")
+        return payload
+
+    def _request(self, shard: int, command: Tuple):
+        self._send(shard, command)
+        return self._receive(shard)
+
+    # ------------------------------------------------------------------ #
+    # row preparation (the shared BruteForceIndex sequence, bit for bit)
+    # ------------------------------------------------------------------ #
+    def _prepare_rows(self, vectors: np.ndarray) -> np.ndarray:
+        return prepare_rows(vectors, self.metric, self.dtype)
+
+    def _prepare_queries(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.asarray(queries, dtype=self.dtype)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        if queries.ndim != 2:
+            raise ValueError("queries must be 1-d or 2-d")
+        if queries.shape[1] != self._dim:
+            raise ValueError("vector dimensionality mismatch")
+        return prepare_rows(queries, self.metric, self.dtype)
+
+    # ------------------------------------------------------------------ #
+    # building / mutation (parent-side writes into shared memory)
+    # ------------------------------------------------------------------ #
+    def build(
+        self, vectors: np.ndarray, ids: Optional[np.ndarray] = None
+    ) -> "ProcessShardedIndex":
+        """Partition ``vectors`` round-robin into per-shard shared segments.
+
+        Rebuilding reuses running workers: fresh rows land in the (possibly
+        regrown) segments and one ``attach`` round-trip per worker re-maps
+        them.  The first build spawns the workers.
+        """
+
+        self._require_open()
+        vectors = np.asarray(vectors)
+        if vectors.ndim != 2:
+            raise ValueError("vectors must be a 2-d array")
+        if len(vectors) == 0:
+            raise ValueError("cannot build an index from zero vectors")
+        new_ids = (
+            np.arange(len(vectors), dtype=np.int64)
+            if ids is None
+            else np.asarray(ids, dtype=np.int64).copy()
+        )
+        if len(new_ids) != len(vectors):
+            raise ValueError("ids must match the number of vectors")
+        check_new_ids(None, new_ids)
+
+        dim = int(vectors.shape[1])
+        if self._matrices and dim != self._dim:
+            # Segment width changed: retire every old store, start fresh.
+            for matrix in self._matrices:
+                matrix.close()
+            self._matrices = []
+        self._dim = dim
+        self._ids = new_ids
+        self._id_order = None
+        normalized = self._prepare_rows(vectors)
+
+        if not self._matrices:
+            self._matrices = [
+                SharedMatrix(dim, self.dtype, self.initial_capacity)
+                for _ in range(self.num_shards)
+            ]
+        self._ensure_workers()
+        for shard in range(self.num_shards):
+            matrix = self._matrices[shard]
+            matrix.reset()
+            matrix.append(normalized[shard :: self.num_shards], new_ids[shard :: self.num_shards])
+        # One attach round-trip covers first builds, re-builds and any
+        # capacity growth in one go; scatter first, then gather the acks.
+        for shard in range(self.num_shards):
+            self._send(shard, ("attach", self._matrices[shard].meta()))
+        for shard in range(self.num_shards):
+            self._receive(shard)
+            self._matrices[shard].release_retired()
+        self.epoch += 1
+        return self
+
+    def update(self, position: int, vector: np.ndarray) -> None:
+        """Replace one row on its owning shard (batch-of-one ``update_batch``)."""
+
+        vector = np.asarray(vector)
+        if vector.ndim != 1:
+            raise ValueError("vector dimensionality mismatch")
+        self.update_batch(np.asarray([position], dtype=np.int64), vector[None, :])
+
+    def update_batch(self, positions: Sequence[int], vectors: np.ndarray) -> None:
+        """Overwrite rows in place — workers see the new bytes immediately.
+
+        Pure shared-memory writes: no worker round-trip at all.  Boolean
+        masking preserves arrival order, so duplicate-position semantics
+        (last write wins) match the other backends.
+        """
+
+        self._require_open()
+        if self._ids is None:
+            raise RuntimeError("index has not been built")
+        positions = np.asarray(positions, dtype=np.int64)
+        vectors = np.asarray(vectors)
+        if vectors.ndim != 2 or len(vectors) != len(positions):
+            raise ValueError("vectors must be 2-d with one row per position")
+        if vectors.shape[1] != self._dim:
+            raise ValueError("vector dimensionality mismatch")
+        if not len(positions):
+            return
+        if positions.min() < 0 or positions.max() >= len(self._ids):
+            raise ValueError("position out of range")
+        normalized = self._prepare_rows(vectors)
+        for shard in range(self.num_shards):
+            mask = self._shard_mask(positions, shard)
+            if not mask.any():
+                continue
+            self._matrices[shard].set_rows(positions[mask] // self.num_shards, normalized[mask])
+        self.epoch += 1
+
+    def add(
+        self, vectors: np.ndarray, ids: Optional[np.ndarray] = None
+    ) -> "ProcessShardedIndex":
+        """Append rows, continuing the round-robin deal so shards stay balanced.
+
+        Appends are shared-memory writes too; only when a shard's segments
+        double does its worker get an ``attach`` command (the outgrown
+        segments are unlinked after the ack).  Id uniqueness is validated
+        globally, as on the thread backend.
+        """
+
+        self._require_open()
+        if self._ids is None:
+            raise RuntimeError("index has not been built")
+        vectors = np.asarray(vectors)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        if vectors.ndim != 2 or vectors.shape[1] != self._dim:
+            raise ValueError("vector dimensionality mismatch")
+        start = len(self._ids)
+        new_ids = (
+            np.arange(start, start + len(vectors), dtype=np.int64)
+            if ids is None
+            else np.asarray(ids, dtype=np.int64)
+        )
+        if len(new_ids) != len(vectors):
+            raise ValueError("ids must match the number of vectors")
+        check_new_ids(self._ids, new_ids)
+        normalized = self._prepare_rows(vectors)
+        positions = np.arange(start, start + len(vectors), dtype=np.int64)
+        for shard in range(self.num_shards):
+            mask = self._shard_mask(positions, shard)
+            if not mask.any():
+                continue
+            grown = self._matrices[shard].append(normalized[mask], new_ids[mask])
+            if grown is not None:
+                self._request(shard, ("attach", grown))
+                self._matrices[shard].release_retired()
+        self._ids = np.concatenate([self._ids, new_ids])
+        self._id_order = None
+        self.epoch += 1
+        return self
+
+    # ------------------------------------------------------------------ #
+    # scatter-gather querying (single-query search comes from the mixin)
+    # ------------------------------------------------------------------ #
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        exclude_per_query: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Scatter the prepared query block to every live worker, gather, merge.
+
+        The workers' matmul + top-k run concurrently on separate cores; the
+        parent only pays query prep (once, not per shard), pickling, and the
+        final merge re-rank.
+        """
+
+        self._require_open()
+        if self._ids is None:
+            raise RuntimeError("index has not been built")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        queries = self._prepare_queries(queries)
+        if exclude_per_query is not None and len(exclude_per_query) != len(queries):
+            raise ValueError("exclude_per_query must have one entry per query")
+        exclusions = (
+            None
+            if exclude_per_query is None
+            else [
+                None if exclude is None else np.asarray(exclude, dtype=np.int64)
+                for exclude in exclude_per_query
+            ]
+        )
+        live = [shard for shard in range(self.num_shards) if self._matrices[shard].size]
+        for shard in live:
+            self._send(
+                shard, ("search", queries, k, exclusions, self._matrices[shard].size)
+            )
+        partials = [self._receive(shard) for shard in live]
+        if len(partials) == 1:
+            return partials[0]
+        return [self._merge_row(partials, row, k) for row in range(len(queries))]
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the workers, join them, unlink every shared segment.
+
+        Idempotent but terminal: unlike the thread backend there is nothing
+        lazy to recreate — a closed index raises on every subsequent call.
+        Dead workers are skipped gracefully; stragglers are terminated after
+        a grace period so close can never hang.
+        """
+
+        procs, self._procs = self._procs, []
+        conns, self._conns = self._conns, []
+        matrices, self._matrices = self._matrices, []
+        for conn in conns:
+            try:
+                conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass  # already dead — nothing to stop
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover — stuck worker safety net
+                proc.terminate()
+                proc.join(timeout=5.0)
+            try:
+                proc.close()
+            except Exception:  # pragma: no cover
+                pass
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for matrix in matrices:
+            matrix.close()
+        self._closed = True

@@ -37,10 +37,115 @@ import numpy as np
 
 from .brute_force import BruteForceIndex, check_new_ids
 
-__all__ = ["ShardedIndex"]
+__all__ = ["ScatterGatherMixin", "ShardedIndex"]
 
 
-class ShardedIndex:
+class ScatterGatherMixin:
+    """Round-robin partition arithmetic, merge re-rank and lifecycle protocol.
+
+    Shared by the in-process :class:`ShardedIndex` (thread fan-out) and the
+    multi-core :class:`~repro.ann.process_sharded.ProcessShardedIndex`
+    (process workers), so the two backends cannot drift on the three things
+    that make them interchangeable:
+
+    * the ``p % S`` position map routing every row to its owning shard,
+    * the per-query merge that re-ranks per-shard top-k lists into exactly
+      the order an unsharded ``top_k_rows`` would produce, and
+    * the lifecycle protocol — ``close()`` (idempotent), context-manager
+      support, and best-effort teardown on ``__del__``.
+
+    Subclasses provide ``num_shards``, ``_ids``, ``_id_order``, ``_dim`` and
+    implement :meth:`close`.
+    """
+
+    num_shards: int
+
+    @property
+    def size(self) -> int:
+        return 0 if self._ids is None else len(self._ids)
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def shard_of(self, position: int) -> Tuple[int, int]:
+        """Map a global row position to ``(shard, local position)``."""
+
+        if self._ids is None:
+            raise RuntimeError("index has not been built")
+        if not 0 <= position < len(self._ids):
+            raise ValueError("position out of range")
+        return position % self.num_shards, position // self.num_shards
+
+    def _shard_mask(self, positions: np.ndarray, shard: int) -> np.ndarray:
+        return positions % self.num_shards == shard
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        exclude: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Single-query scatter-gather (the batch path with one row)."""
+
+        query = np.asarray(query).reshape(-1)
+        exclusions = None if exclude is None else [np.asarray(exclude, dtype=np.int64)]
+        return self.search_batch(query[None, :], k, exclude_per_query=exclusions)[0]
+
+    def _merge_row(
+        self,
+        partials: List[List[Tuple[np.ndarray, np.ndarray]]],
+        row: int,
+        k: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Merge one query's per-shard top-k lists into the global top-k.
+
+        Candidates are first ordered by global position, then stably sorted by
+        descending score — reproducing the tie order an unsharded
+        ``top_k_rows`` call would have produced over the full score matrix.
+        """
+
+        ids = np.concatenate([partial[row][0] for partial in partials])
+        scores = np.concatenate([partial[row][1] for partial in partials])
+        if not len(ids):
+            return ids, scores
+        # Each shard emits candidates in descending-score order with ties in
+        # ascending local-position order; interleave back to global-position
+        # order before the final stable score sort.
+        position_order = np.argsort(self._positions_of(ids), kind="stable")
+        ids = ids[position_order]
+        scores = scores[position_order]
+        top = np.argsort(-scores, kind="stable")[:k]
+        return ids[top], scores[top]
+
+    def _positions_of(self, ids: np.ndarray) -> np.ndarray:
+        """Global positions of ``ids`` (ids are unique by construction)."""
+
+        if self._id_order is None:
+            self._id_order = np.argsort(self._ids, kind="stable")
+        found = np.searchsorted(self._ids, ids, sorter=self._id_order)
+        return self._id_order[found]
+
+    def close(self) -> None:  # pragma: no cover — always overridden
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        # Release the workers with the index: callers up the stack
+        # (UserNeighborhoodComponent, SCCF) hold the index for their own
+        # lifetime and close() cascades are best-effort at teardown.
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter teardown; nothing useful to do
+
+
+class ShardedIndex(ScatterGatherMixin):
     """Scatter-gather top-k search over S backend shards.
 
     Parameters
@@ -87,30 +192,10 @@ class ShardedIndex:
     # partitioning
     # ------------------------------------------------------------------ #
     @property
-    def size(self) -> int:
-        return 0 if self._ids is None else len(self._ids)
-
-    @property
-    def dim(self) -> int:
-        return self._dim
-
-    @property
     def shards(self) -> List[object]:
         """The backend shard indexes (read-only view for maintenance/tests)."""
 
         return list(self._shards)
-
-    def shard_of(self, position: int) -> Tuple[int, int]:
-        """Map a global row position to ``(shard, local position)``."""
-
-        if self._ids is None:
-            raise RuntimeError("index has not been built")
-        if not 0 <= position < len(self._ids):
-            raise ValueError("position out of range")
-        return position % self.num_shards, position // self.num_shards
-
-    def _shard_mask(self, positions: np.ndarray, shard: int) -> np.ndarray:
-        return positions % self.num_shards == shard
 
     def build(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> "ShardedIndex":
         """Partition ``vectors`` round-robin and build one backend per shard."""
@@ -217,20 +302,8 @@ class ShardedIndex:
         return self
 
     # ------------------------------------------------------------------ #
-    # scatter-gather querying
+    # scatter-gather querying (single-query search comes from the mixin)
     # ------------------------------------------------------------------ #
-    def search(
-        self,
-        query: np.ndarray,
-        k: int,
-        exclude: Optional[np.ndarray] = None,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Single-query scatter-gather (the batch path with one row)."""
-
-        query = np.asarray(query).reshape(-1)
-        exclusions = None if exclude is None else [np.asarray(exclude, dtype=np.int64)]
-        return self.search_batch(query[None, :], k, exclude_per_query=exclusions)[0]
-
     def search_batch(
         self,
         queries: np.ndarray,
@@ -263,40 +336,6 @@ class ShardedIndex:
         else:
             partials = [scatter(backend) for backend in live]
         return [self._merge_row(partials, row, k) for row in range(len(queries))]
-
-    def _merge_row(
-        self,
-        partials: List[List[Tuple[np.ndarray, np.ndarray]]],
-        row: int,
-        k: int,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Merge one query's per-shard top-k lists into the global top-k.
-
-        Candidates are first ordered by global position, then stably sorted by
-        descending score — reproducing the tie order an unsharded
-        ``top_k_rows`` call would have produced over the full score matrix.
-        """
-
-        ids = np.concatenate([partial[row][0] for partial in partials])
-        scores = np.concatenate([partial[row][1] for partial in partials])
-        if not len(ids):
-            return ids, scores
-        # Each shard emits candidates in descending-score order with ties in
-        # ascending local-position order; interleave back to global-position
-        # order before the final stable score sort.
-        position_order = np.argsort(self._positions_of(ids), kind="stable")
-        ids = ids[position_order]
-        scores = scores[position_order]
-        top = np.argsort(-scores, kind="stable")[:k]
-        return ids[top], scores[top]
-
-    def _positions_of(self, ids: np.ndarray) -> np.ndarray:
-        """Global positions of ``ids`` (ids are unique by construction)."""
-
-        if self._id_order is None:
-            self._id_order = np.argsort(self._ids, kind="stable")
-        found = np.searchsorted(self._ids, ids, sorter=self._id_order)
-        return self._id_order[found]
 
     # ------------------------------------------------------------------ #
     # maintenance fan-out
@@ -357,27 +396,21 @@ class ShardedIndex:
         return self._executor
 
     def close(self) -> None:
-        """Shut down the fan-out thread pool (no-op when searches ran serially).
+        """Shut down the fan-out thread pool and any closeable shard backends.
 
-        Searches after ``close`` recreate the pool lazily, so calling it
-        eagerly is always safe.
+        With the standard backends (brute force, IVF) calling this eagerly is
+        always safe: the pool shutdown is a no-op when searches ran serially,
+        and searches after ``close`` recreate it lazily.  Shard backends
+        exposing a ``close()`` of their own (a custom factory) are closed too
+        — the lifecycle protocol cascades all the way down, and if such a
+        backend's close is terminal (e.g. a nested process-sharded index),
+        this index is terminal with it.
         """
 
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
-
-    def __del__(self) -> None:
-        # Release the worker threads with the index: callers up the stack
-        # (UserNeighborhoodComponent, SCCF) hold the index for their own
-        # lifetime and have no close path of their own.
-        try:
-            self.close()
-        except Exception:
-            pass  # interpreter teardown; nothing useful to do
-
-    def __enter__(self) -> "ShardedIndex":
-        return self
-
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
-        self.close()
+        for shard in self._shards:
+            closer = getattr(shard, "close", None)
+            if closer is not None:
+                closer()

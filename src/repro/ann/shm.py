@@ -1,0 +1,239 @@
+"""Shared-memory vector store backing the process-level shard workers.
+
+:class:`SharedMatrix` keeps one shard's worth of index state — a ``(capacity,
+dim)`` float row matrix plus the matching ``(capacity,)`` int64 global-id
+array — in two POSIX shared-memory segments, so worker *processes* can map the
+very same bytes the serving parent writes, zero-copy:
+
+* the **owner** (the parent's :class:`~repro.ann.process_sharded.ProcessShardedIndex`)
+  creates the segments, appends/overwrites rows in place, and is the only side
+  that ever unlinks them;
+* **attachers** (the shard workers) map the segments read-only-by-convention
+  and slice a ``(size, dim)`` view per request — the live row count travels
+  with every search command, so ordinary appends and row updates need no
+  worker round-trip at all.
+
+Growth works by *re-attach on capacity doubling*: when an append outgrows the
+segments, the owner allocates doubled segments, copies the live rows, and
+keeps the outgrown segments alive in a retired list until every worker has
+acknowledged attaching the new ones (:meth:`release_retired`); only then are
+the old segments closed and unlinked.  Mapped pages stay valid across the
+unlink on POSIX, so in-flight readers of the old segments are never yanked.
+
+Resource-tracker note: on the Pythons this repo supports (< 3.13),
+``SharedMemory`` registers a segment with the ``multiprocessing`` resource
+tracker on *attach* as well as on create.  That is harmless — and must be
+left alone — in this design: the shard workers are always *children* of the
+owning process, so the whole tree shares one tracker whose per-type cache is
+a set (the attach-side re-register collapses into the owner's entry, and the
+owner's ``unlink`` unregisters it exactly once).  Unregistering on attach —
+the workaround needed when unrelated processes attach — would here strip the
+owner's own entry and turn every unlink into tracker noise.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SharedMatrix"]
+
+_SUPPORTED_DTYPES = (np.float32, np.float64)
+
+
+class SharedMatrix:
+    """Growable ``(rows, ids)`` store in shared memory (one per shard).
+
+    Create one with the constructor (owner side) or :meth:`attach` (worker
+    side).  The owner tracks the live row count in ``size``; attachers are
+    stateless about it and pass the count into :meth:`view` per request.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        dtype: np.dtype = np.float32,
+        capacity: int = 64,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        dtype = np.dtype(dtype)
+        if dtype.type not in _SUPPORTED_DTYPES:
+            raise ValueError("dtype must be float32 or float64")
+        self.dim = dim
+        self.dtype = dtype
+        self.capacity = capacity
+        self.size = 0
+        self._owner = True
+        self._retired: List[shared_memory.SharedMemory] = []
+        self._allocate(capacity)
+
+    def _allocate(self, capacity: int) -> None:
+        self._vec_shm = shared_memory.SharedMemory(
+            create=True, size=capacity * self.dim * self.dtype.itemsize
+        )
+        self._ids_shm = shared_memory.SharedMemory(create=True, size=capacity * 8)
+        self._map_views(capacity)
+
+    def _map_views(self, capacity: int) -> None:
+        self._vectors = np.ndarray(
+            (capacity, self.dim), dtype=self.dtype, buffer=self._vec_shm.buf
+        )
+        self._ids = np.ndarray((capacity,), dtype=np.int64, buffer=self._ids_shm.buf)
+
+    @classmethod
+    def attach(cls, meta: Dict[str, object]) -> "SharedMatrix":
+        """Map an owner's segments from their :meth:`meta` description.
+
+        Attachers never unlink: :meth:`close` only drops the mapping, and
+        ownership (the unlink duty) stays with the creating process.  Meant
+        for processes in the owner's process tree — see the module docstring
+        for the resource-tracker reasoning.
+        """
+
+        self = object.__new__(cls)
+        self.dim = int(meta["dim"])
+        self.dtype = np.dtype(str(meta["dtype"]))
+        self.capacity = int(meta["capacity"])
+        self.size = 0
+        self._owner = False
+        self._retired = []
+        self._vec_shm = shared_memory.SharedMemory(name=str(meta["vectors"]))
+        self._ids_shm = shared_memory.SharedMemory(name=str(meta["ids"]))
+        self._map_views(self.capacity)
+        return self
+
+    def meta(self) -> Dict[str, object]:
+        """Everything an attacher needs to map the current segments."""
+
+        return {
+            "vectors": self._vec_shm.name,
+            "ids": self._ids_shm.name,
+            "capacity": self.capacity,
+            "dim": self.dim,
+            "dtype": self.dtype.name,
+        }
+
+    # ------------------------------------------------------------------ #
+    # owner-side mutation
+    # ------------------------------------------------------------------ #
+    def view(self, size: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """``(rows, ids)`` views of the first ``size`` rows (default: own count)."""
+
+        size = self.size if size is None else int(size)
+        if not 0 <= size <= self.capacity:
+            raise ValueError("size exceeds the mapped capacity")
+        return self._vectors[:size], self._ids[:size]
+
+    def reset(self) -> None:
+        """Drop every row (a rebuild reuses the segments; capacity is kept)."""
+
+        self.size = 0
+
+    def append(
+        self, vectors: np.ndarray, ids: Sequence[int]
+    ) -> Optional[Dict[str, object]]:
+        """Append rows; returns the *new* :meth:`meta` when the store grew.
+
+        A non-``None`` return means the rows now live in fresh (doubled)
+        segments: the caller must push the returned meta to every attacher
+        and then call :meth:`release_retired` to unlink the outgrown ones.
+        """
+
+        vectors = np.asarray(vectors, dtype=self.dtype)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError("vectors must be 2-d with rows of width dim")
+        if len(vectors) != len(ids):
+            raise ValueError("ids must match the number of vectors")
+        grown: Optional[Dict[str, object]] = None
+        needed = self.size + len(vectors)
+        if needed > self.capacity:
+            self._grow(needed)
+            grown = self.meta()
+        self._vectors[self.size : needed] = vectors
+        self._ids[self.size : needed] = np.asarray(ids, dtype=np.int64)
+        self.size = needed
+        return grown
+
+    def set_rows(self, positions: Sequence[int], vectors: np.ndarray) -> None:
+        """Overwrite rows in place (duplicate positions: last write wins)."""
+
+        positions = np.asarray(positions, dtype=np.int64)
+        vectors = np.asarray(vectors, dtype=self.dtype)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError("vectors must be 2-d with rows of width dim")
+        if len(positions) != len(vectors):
+            raise ValueError("vectors must have one row per position")
+        if len(positions) == 0:
+            return
+        if positions.min() < 0 or positions.max() >= self.size:
+            raise ValueError("position out of range")
+        self._vectors[positions] = vectors
+
+    def _grow(self, min_capacity: int) -> None:
+        if not self._owner:
+            raise RuntimeError("only the owning process may grow a SharedMatrix")
+        new_capacity = max(self.capacity * 2, min_capacity)
+        old_vectors, old_ids = self._vectors[: self.size].copy(), self._ids[: self.size].copy()
+        # Outgrown segments stay mapped (and linked) until every attacher has
+        # switched to the new ones — see release_retired().
+        self._release_views()
+        self._retired.extend([self._vec_shm, self._ids_shm])
+        self.capacity = new_capacity
+        self._allocate(new_capacity)
+        self._vectors[: self.size] = old_vectors
+        self._ids[: self.size] = old_ids
+
+    def release_retired(self) -> None:
+        """Close + unlink segments outgrown by :meth:`_grow` (owner only)."""
+
+        retired, self._retired = self._retired, []
+        for segment in retired:
+            self._close_segment(segment, unlink=self._owner)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _close_segment(segment: shared_memory.SharedMemory, unlink: bool) -> None:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover — a caller still holds a view
+            pass
+        if unlink:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover — already gone
+                pass
+
+    def _release_views(self) -> None:
+        self._vectors = None
+        self._ids = None
+
+    def close(self) -> None:
+        """Detach the mappings; the owner also unlinks.  Idempotent."""
+
+        if self._vec_shm is None:
+            return
+        self._release_views()
+        self.release_retired()
+        self._close_segment(self._vec_shm, unlink=self._owner)
+        self._close_segment(self._ids_shm, unlink=self._owner)
+        self._vec_shm = None
+        self._ids_shm = None
+
+    def __enter__(self) -> "SharedMatrix":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter teardown; nothing useful to do

@@ -74,6 +74,7 @@ mathematical result; only cross-shape *comparisons* see it.
 from __future__ import annotations
 
 import copy
+import sys
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
@@ -203,6 +204,22 @@ class CacheStats:
         return "\n".join(lines)
 
 
+def _value_nbytes(value: Any) -> int:
+    """Approximate heap footprint of a cached value, in bytes.
+
+    NumPy arrays report their buffer exactly (``nbytes``); containers sum
+    their elements; everything else falls back to ``sys.getsizeof``.  Used
+    only by byte-budgeted layers, so unbudgeted layers never pay the walk.
+    """
+
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(value, (tuple, list)):
+        return sum(_value_nbytes(entry) for entry in value)
+    return sys.getsizeof(value)
+
+
 class LRUCache:
     """Bounded LRU mapping ``key → (token, value)`` with token validation.
 
@@ -214,15 +231,28 @@ class LRUCache:
     can never become valid again — counters are monotonic) and reports a
     miss.  Capacity 0 disables the layer: every ``put`` is a no-op and every
     ``get`` a miss.
+
+    ``max_bytes`` adds a *memory* budget on top of the entry-count bound:
+    each stored value's footprint (``value.nbytes`` for arrays) is tracked
+    and the LRU tail is evicted until the layer fits the budget — an entry
+    count says nothing about memory when values are full catalog-width score
+    rows, so large catalogs bound the layer by bytes instead.  A single
+    value bigger than the whole budget is simply not stored (storing it
+    would evict everything else *and* still bust the budget).
     """
 
-    def __init__(self, name: str, capacity: int) -> None:
+    def __init__(self, name: str, capacity: int, max_bytes: Optional[int] = None) -> None:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (omit it for no byte budget)")
         self.name = name
         self.capacity = capacity
+        self.max_bytes = max_bytes
+        #: bytes currently held (0 unless the layer is byte-budgeted)
+        self.total_bytes = 0
         self.stats = LayerStats(name=name)
-        self._entries: "OrderedDict[Hashable, Tuple[Hashable, Any]]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, Tuple[Hashable, Any, int]]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -237,9 +267,10 @@ class LRUCache:
         if entry is None:
             self.stats.misses += 1
             return MISS
-        stored_token, value = entry
+        stored_token, value, nbytes = entry
         if stored_token != token:
             del self._entries[key]
+            self.total_bytes -= nbytes
             self.stats.invalidations += 1
             self.stats.misses += 1
             return MISS
@@ -248,21 +279,35 @@ class LRUCache:
         return value
 
     def put(self, key: Hashable, token: Hashable, value: Any) -> None:
-        """Store ``value`` under ``key``/``token``, evicting the LRU entry if full."""
+        """Store ``value`` under ``key``/``token``, evicting LRU entries while
+        either bound (entry count, byte budget) is exceeded."""
 
         if self.capacity == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        nbytes = _value_nbytes(value) if self.max_bytes is not None else 0
+        if self.max_bytes is not None and nbytes > self.max_bytes:
+            return  # oversized: would evict the whole layer and still not fit
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self.total_bytes -= previous[2]
         elif len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        self._entries[key] = (token, value)
+            self._evict_lru()
+        self._entries[key] = (token, value, nbytes)
+        self.total_bytes += nbytes
+        if self.max_bytes is not None:
+            while self.total_bytes > self.max_bytes:
+                self._evict_lru()
+
+    def _evict_lru(self) -> None:
+        _, (_, _, nbytes) = self._entries.popitem(last=False)
+        self.total_bytes -= nbytes
+        self.stats.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (stats are preserved — they describe the lifetime)."""
 
         self._entries.clear()
+        self.total_bytes = 0
 
     def reset_stats(self) -> None:
         self.stats = LayerStats(name=self.name)
@@ -273,17 +318,21 @@ class ServingCache:
 
     One ``capacity`` bounds every layer independently (each layer keeps at
     most ``capacity`` entries).  Memory is dominated by the ``scores`` layer,
-    whose values are full ``(num_items,)`` float64 rows — size the capacity
-    accordingly for very large catalogs, or rely on the LRU bound.
+    whose values are full ``(num_items,)`` float64 rows — at a 1M-item
+    catalog a single row is 8 MB, so a fixed entry count can blow memory no
+    matter how small.  ``max_score_bytes`` bounds that layer by *tracked
+    bytes* instead: the LRU tail is evicted whenever the stored rows exceed
+    the budget, independent of the entry count.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024, max_score_bytes: Optional[int] = None) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive (omit the cache to disable it)")
         self.capacity = capacity
+        self.max_score_bytes = max_score_bytes
         self.embeddings = LRUCache("embeddings", capacity)
         self.neighbors = LRUCache("neighbors", capacity)
-        self.scores = LRUCache("scores", capacity)
+        self.scores = LRUCache("scores", capacity, max_bytes=max_score_bytes)
         self.recommendations = LRUCache("recommendations", capacity)
         self._owner: Optional[weakref.ref] = None
 

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from collections import deque
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
@@ -81,7 +81,9 @@ class MaintenanceReport:
 
     ``supported`` is ``False`` when the neighbor index has no maintenance
     surface (e.g. a plain brute-force index — nothing to re-cluster);
-    imbalance fields are then ``None``.
+    imbalance fields are then ``None``.  ``prefilled_users`` counts how many
+    head users had their serving-cache entries re-warmed after a retrain
+    (0 when nothing retrained, no cache is attached, or prefill was off).
     """
 
     supported: bool
@@ -90,6 +92,7 @@ class MaintenanceReport:
     imbalance_after: Optional[float] = None
     threshold: Optional[float] = None
     duration_ms: float = 0.0
+    prefilled_users: int = 0
 
 
 @dataclass
@@ -117,6 +120,11 @@ class RealTimeServer:
         When set, attach a :class:`MaintenanceScheduler` that calls
         :meth:`maintain` after every ``maintenance_every`` observed events,
         so a skewed IVF index is re-clustered without any caller-side timer.
+    activity_window:
+        Number of most recent requests (observes and recommends, per event)
+        whose user ids are remembered for head-user statistics — the
+        population :meth:`prefill_cache` draws the "most-frequent recent
+        users" from.  Bounded like the latency windows.
     """
 
     #: distinguishes servers sharing one SCCF in the cache's request keys —
@@ -130,11 +138,14 @@ class RealTimeServer:
         dataset: RecDataset,
         latency_window: int = 4096,
         maintenance_every: Optional[int] = None,
+        activity_window: int = 4096,
     ) -> None:
         if not getattr(sccf, "_fitted", False):
             raise ValueError("SCCF must be fitted before serving")
         if latency_window <= 0:
             raise ValueError("latency_window must be positive")
+        if activity_window <= 0:
+            raise ValueError("activity_window must be positive")
         self.sccf = sccf
         self.num_items = dataset.num_items
         self._serial = next(RealTimeServer._serials)
@@ -148,6 +159,9 @@ class RealTimeServer:
         #: recorded latencies, so ``average_latency`` reported ingestion cost
         #: as if it were the serving cost).
         self.recommend_latencies: Deque[float] = deque(maxlen=latency_window)
+        #: user ids of the most recent requests (observes + recommends) —
+        #: the head-user population for post-retrain cache prefill
+        self._recent_active: Deque[int] = deque(maxlen=activity_window)
         self.scheduler: Optional[MaintenanceScheduler] = (
             MaintenanceScheduler(self, every_events=maintenance_every)
             if maintenance_every is not None
@@ -213,6 +227,7 @@ class RealTimeServer:
         touched: List[int] = []
         seen: set = set()
         for user_id, item_id in validated:
+            self._recent_active.append(user_id)
             self._states.setdefault(user_id, _UserState()).history.append(item_id)
             if user_id not in seen:
                 seen.add(user_id)
@@ -270,7 +285,11 @@ class RealTimeServer:
     # ------------------------------------------------------------------ #
     # index maintenance (off the hot path)
     # ------------------------------------------------------------------ #
-    def maintain(self, imbalance_threshold: Optional[float] = None) -> MaintenanceReport:
+    def maintain(
+        self,
+        imbalance_threshold: Optional[float] = None,
+        prefill_users: Optional[int] = None,
+    ) -> MaintenanceReport:
         """Re-cluster the neighbor index if streamed adds have skewed it.
 
         Streaming :meth:`observe` appends cold-start users to whichever IVF
@@ -284,8 +303,17 @@ class RealTimeServer:
         preserves ids and vectors, so serving results only change in which
         cells a query probes.  No-op (``supported=False``) for indexes
         without a maintenance surface, e.g. brute force.
+
+        ``prefill_users=K``: a retrain bumps the index epoch, which drops
+        every epoch-validated serving-cache entry at once — the next request
+        from *every* repeat visitor would pay a full recompute.  Passing K
+        re-warms the cache for the K most-frequent recent users right here,
+        off the hot path (see :meth:`prefill_cache`), so the post-retrain
+        hit-rate cliff lands on maintenance instead of on live traffic.
         """
 
+        if prefill_users is not None and prefill_users <= 0:
+            raise ValueError("prefill_users must be positive")
         index = self.sccf.neighborhood.index
         if not (hasattr(index, "imbalance") and hasattr(index, "retrain")):
             return MaintenanceReport(supported=False)
@@ -298,6 +326,11 @@ class RealTimeServer:
         retrained = before > imbalance_threshold
         if retrained:
             index.retrain()
+        prefilled = (
+            len(self.prefill_cache(prefill_users))
+            if retrained and prefill_users is not None
+            else 0
+        )
         return MaintenanceReport(
             supported=True,
             retrained=retrained,
@@ -305,7 +338,32 @@ class RealTimeServer:
             imbalance_after=index.imbalance() if retrained else before,
             threshold=imbalance_threshold,
             duration_ms=(time.perf_counter() - start) * 1000.0,
+            prefilled_users=prefilled,
         )
+
+    def prefill_cache(self, num_users: int) -> List[int]:
+        """Re-warm the serving cache for the ``num_users`` most-frequent recent users.
+
+        Scores each head user through the normal serving path (a batch of one
+        per user, exactly the shape :meth:`recommend` computes in — so the
+        warmed entries are bit-identical to what a live request would cache),
+        which populates the ``embeddings``, ``neighbors`` and ``scores``
+        layers under the *current* epoch/version counters.  Head users come
+        from the bounded recent-activity window (observes + recommends).
+        Returns the users warmed; empty when no cache is attached or no
+        activity was recorded.  Runs off the hot path — call it after any
+        event that invalidates en masse (a retrain, an eviction storm).
+        """
+
+        if num_users <= 0:
+            raise ValueError("num_users must be positive")
+        if self.sccf.cache is None or not self._recent_active:
+            return []
+        head = [user for user, _ in Counter(self._recent_active).most_common(num_users)]
+        for user in head:
+            state = self._states.get(user, _UserState())
+            self.sccf.score_items(user, history=state.history)
+        return head
 
     # ------------------------------------------------------------------ #
     # serving
@@ -327,6 +385,7 @@ class RealTimeServer:
             return []
         start = time.perf_counter()
         user_id = int(user_id)
+        self._recent_active.append(user_id)
         cache = self.sccf.cache
         epoch = getattr(self.sccf.neighborhood.index, "epoch", None)
         token = key = None
@@ -391,6 +450,33 @@ class RealTimeServer:
             return None
         return float(sum(self.recommend_latencies)) / len(self.recommend_latencies)
 
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the serving stack's workers (cascades through the SCCF).
+
+        The cascade — server → :meth:`SCCF.close` →
+        ``UserNeighborhoodComponent.close`` → ``index.close()`` — is what
+        tears down process-backend shard workers and their shared-memory
+        segments; with thread or plain indexes it is a cheap no-op.
+        Idempotent, and also invoked by the context-manager exit.
+
+        Closing tears down the *shared stack*, not just this server: when
+        several servers serve one SCCF (a supported pattern — see the
+        request-key serial), close once, after the last of them is done,
+        rather than per server.  On the process backend a premature close is
+        terminal for every sibling.
+        """
+
+        self.sccf.close()
+
+    def __enter__(self) -> "RealTimeServer":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
 
 class MaintenanceScheduler:
     """Event-count trigger for :meth:`RealTimeServer.maintain` (off the hot path).
@@ -415,14 +501,20 @@ class MaintenanceScheduler:
         every_events: int = 1024,
         imbalance_threshold: Optional[float] = None,
         report_window: int = 64,
+        prefill_users: Optional[int] = None,
     ) -> None:
         if every_events <= 0:
             raise ValueError("every_events must be positive")
         if report_window <= 0:
             raise ValueError("report_window must be positive")
+        if prefill_users is not None and prefill_users <= 0:
+            raise ValueError("prefill_users must be positive")
         self.server = server
         self.every_events = every_events
         self.imbalance_threshold = imbalance_threshold
+        #: when set, every retraining pass re-warms the serving cache for
+        #: this many head users (see RealTimeServer.prefill_cache)
+        self.prefill_users = prefill_users
         self.events_since_maintenance = 0
         #: total number of maintenance passes triggered over the lifetime
         self.passes_run = 0
@@ -445,7 +537,7 @@ class MaintenanceScheduler:
         if self.events_since_maintenance < self.every_events:
             return None
         self.events_since_maintenance = 0
-        report = self.server.maintain(self.imbalance_threshold)
+        report = self.server.maintain(self.imbalance_threshold, prefill_users=self.prefill_users)
         self.reports.append(report)
         self.passes_run += 1
         return report

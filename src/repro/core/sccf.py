@@ -47,8 +47,10 @@ class SCCFConfig:
     lists handed to the integrating component; the online deployment uses 500,
     offline evaluation needs at least the largest k reported (100).
     ``num_shards > 1`` partitions the user-neighbor index across that many
-    scatter-gather shards with a threaded fan-out (bit-identical results,
-    lower per-worker load — the in-process rehearsal of multi-worker serving).
+    scatter-gather shards (bit-identical results, lower per-worker load);
+    ``shard_backend`` picks the fan-out — ``"thread"`` (in-process pool) or
+    ``"process"`` (persistent worker processes over shared memory, true
+    multi-core scaling; remember to ``close()`` the stack).
     ``cache_capacity > 0`` attaches a versioned
     :class:`~repro.core.cache.ServingCache` of that per-layer capacity, so
     repeat requests skip recomputing embeddings, neighbor lists and fused
@@ -63,6 +65,7 @@ class SCCFConfig:
     merger_learning_rate: float = 0.003
     merger_batch_size: int = 256
     num_shards: int = 1
+    shard_backend: str = "thread"
     cache_capacity: int = 0
     seed: int = 0
 
@@ -75,6 +78,8 @@ class SCCFConfig:
             raise ValueError("recency_window must be positive")
         if self.num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        if self.shard_backend not in ("thread", "process"):
+            raise ValueError("shard_backend must be 'thread' or 'process'")
         if self.cache_capacity < 0:
             raise ValueError("cache_capacity must be non-negative (0 disables the cache)")
 
@@ -103,6 +108,7 @@ class SCCF(Recommender):
             recency_window=self.config.recency_window,
             index=neighbor_index,
             num_shards=self.config.num_shards,
+            shard_backend=self.config.shard_backend,
         )
         if cache is None and self.config.cache_capacity > 0:
             cache = ServingCache(self.config.cache_capacity)
@@ -437,6 +443,25 @@ class SCCF(Recommender):
     def _require_fitted(self) -> None:
         if not self._fitted or self.merger is None:
             raise RuntimeError("SCCF has not been fitted")
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the neighborhood's index workers (lifecycle cascade).
+
+        Required when serving with ``shard_backend="process"`` — the shard
+        worker processes and their shared-memory segments outlive garbage
+        collection otherwise.  Safe and idempotent for every other index.
+        """
+
+        self.neighborhood.close()
+
+    def __enter__(self) -> "SCCF":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     @property
     def name(self) -> str:

@@ -31,7 +31,14 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ann import BruteForceIndex, NeighborIndex, ShardedIndex, search_batch, update_batch
+from ..ann import (
+    BruteForceIndex,
+    NeighborIndex,
+    ProcessShardedIndex,
+    ShardedIndex,
+    search_batch,
+    update_batch,
+)
 from ..data.datasets import RecDataset
 from ..data.sequences import recent_window
 from ..models.base import InductiveUIModel
@@ -74,8 +81,17 @@ class UserNeighborhoodComponent:
         :class:`~repro.ann.sharded.ShardedIndex`.
     num_shards:
         Partition the user index across this many scatter-gather shards
-        (threaded fan-out, one worker per shard).  ``1`` (default) keeps the
-        single-index layout.
+        (one worker per shard).  ``1`` (default) keeps the single-index
+        layout.
+    shard_backend:
+        ``"thread"`` (default) fans the per-shard searches out over a
+        :class:`~repro.ann.sharded.ShardedIndex` thread pool; ``"process"``
+        serves them from persistent worker *processes* over a shared-memory
+        vector store (:class:`~repro.ann.process_sharded.ProcessShardedIndex`)
+        for true multi-core scaling.  Only consulted when ``num_shards > 1``;
+        the process backend owns its shard layout, so it cannot be combined
+        with ``index_factory``.  Call :meth:`close` (or let the owning
+        ``SCCF`` / ``RealTimeServer`` cascade it) to release the workers.
     max_user_growth:
         Upper bound on how many rows a single :meth:`add_users` call may
         append (streamed ids are dense, so growth is backed by a dense zero
@@ -91,6 +107,7 @@ class UserNeighborhoodComponent:
         max_user_growth: int = 10_000,
         index_factory: Optional[Callable[[], NeighborIndex]] = None,
         num_shards: int = 1,
+        shard_backend: str = "thread",
     ) -> None:
         if num_neighbors <= 0:
             raise ValueError("num_neighbors must be positive")
@@ -100,11 +117,20 @@ class UserNeighborhoodComponent:
             raise ValueError("max_user_growth must be positive")
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        if shard_backend not in ("thread", "process"):
+            raise ValueError("shard_backend must be 'thread' or 'process'")
         self.num_neighbors = num_neighbors
         self.recency_window = recency_window
         self.max_user_growth = max_user_growth
         if index is not None:
             self.index: NeighborIndex = index
+        elif num_shards > 1 and shard_backend == "process":
+            if index_factory is not None:
+                raise ValueError(
+                    "the process shard backend owns its shard layout; "
+                    "index_factory cannot be combined with shard_backend='process'"
+                )
+            self.index = ProcessShardedIndex(num_shards=num_shards)
         elif num_shards > 1:
             self.index = ShardedIndex(
                 num_shards=num_shards, shard_factory=index_factory, num_threads=num_shards
@@ -549,3 +575,15 @@ class UserNeighborhoodComponent:
         """Items this user currently contributes to her neighbors' candidates."""
 
         return list(self._recent_items.get(user_id, []))
+
+    def close(self) -> None:
+        """Release the index's workers, if it has any (thread pool / processes).
+
+        Part of the lifecycle cascade: ``RealTimeServer.close()`` →
+        ``SCCF.close()`` → here → ``index.close()``.  Safe on indexes with no
+        close surface (brute force, IVF) and idempotent on the rest.
+        """
+
+        closer = getattr(self.index, "close", None)
+        if closer is not None:
+            closer()

@@ -1,0 +1,516 @@
+"""Process-level shard workers: shared-memory store, parity, lifecycle, wiring.
+
+Four concern groups:
+
+1. :class:`~repro.ann.shm.SharedMatrix` — segment allocation, in-place
+   writes, capacity-doubling growth with deferred retirement, attach/close
+   semantics (owner unlinks, attachers never do);
+2. the worker command handler (:func:`~repro.ann.process_sharded._execute`)
+   exercised *in-process* — the spawned worker loop is a thin shell around
+   it, so the search/attach logic gets real coverage without a subprocess;
+3. :class:`~repro.ann.process_sharded.ProcessShardedIndex` — deterministic
+   surface (routing, growth, errors) plus the hypothesis parity suite
+   mirroring ``tests/test_properties_ann.py``: results bit-identical to the
+   unsharded ``BruteForceIndex`` over random build/add/update/search
+   interleavings.  Worker processes are expensive to spawn (the tests run
+   under the spawn start method so they stay coverage-safe), so the property
+   tests share one pooled index per shard count and rebuild it per example —
+   which doubles as a rebuild-reuses-workers regression test;
+4. lifecycle — ``close()`` leaves no worker processes, shared-memory
+   segments, or semaphores behind (asserted via ``active_children`` and
+   segment re-attach attempts), a killed worker surfaces as a clear
+   ``RuntimeError`` with a clean, hang-free shutdown, and the
+   ``RealTimeServer.close()`` cascade reaches the workers through
+   ``SCCF.close()`` / ``UserNeighborhoodComponent.close()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann import (
+    BruteForceIndex,
+    NeighborIndex,
+    ProcessShardedIndex,
+    SharedMatrix,
+    ShardedIndex,
+)
+from repro.ann.process_sharded import _execute
+from repro.core import SCCF, SCCFConfig, RealTimeServer, UserNeighborhoodComponent
+
+
+def _assert_unlinked(meta):
+    """The segments named by ``meta`` must be gone from the OS namespace."""
+
+    for key in ("vectors", "ids"):
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=str(meta[key]))
+
+
+# --------------------------------------------------------------------- #
+# pooled indexes for the spawn-heavy tests (workers reused across examples)
+# --------------------------------------------------------------------- #
+_POOL = {}
+
+
+def _pooled_index(num_shards: int) -> ProcessShardedIndex:
+    index = _POOL.get(num_shards)
+    if index is None:
+        index = ProcessShardedIndex(num_shards=num_shards, initial_capacity=8)
+        _POOL[num_shards] = index
+    return index
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _close_pool():
+    yield
+    for index in _POOL.values():
+        index.close()
+    _POOL.clear()
+    assert multiprocessing.active_children() == []
+
+
+# --------------------------------------------------------------------- #
+# (1) SharedMatrix
+# --------------------------------------------------------------------- #
+class TestSharedMatrix:
+    def test_append_and_view(self):
+        with SharedMatrix(dim=3, capacity=4) as store:
+            grown = store.append(np.arange(6, dtype=np.float32).reshape(2, 3), [10, 11])
+            assert grown is None and store.size == 2
+            rows, ids = store.view()
+            np.testing.assert_array_equal(ids, [10, 11])
+            np.testing.assert_array_equal(rows, np.arange(6, dtype=np.float32).reshape(2, 3))
+
+    def test_set_rows_overwrites_in_place(self):
+        with SharedMatrix(dim=2, capacity=4) as store:
+            store.append(np.zeros((3, 2), dtype=np.float32), [0, 1, 2])
+            store.set_rows([1], np.ones((1, 2), dtype=np.float32))
+            rows, _ = store.view()
+            np.testing.assert_array_equal(rows[1], [1.0, 1.0])
+            np.testing.assert_array_equal(rows[0], [0.0, 0.0])
+
+    def test_growth_doubles_and_reports_new_meta(self):
+        with SharedMatrix(dim=2, capacity=2) as store:
+            old_meta = store.meta()
+            store.append(np.ones((2, 2), dtype=np.float32), [0, 1])
+            grown = store.append(np.full((3, 2), 2.0, dtype=np.float32), [2, 3, 4])
+            assert grown is not None and grown["capacity"] >= 5
+            assert grown["vectors"] != old_meta["vectors"]
+            rows, ids = store.view()
+            np.testing.assert_array_equal(ids, [0, 1, 2, 3, 4])
+            np.testing.assert_array_equal(rows[0], [1.0, 1.0])
+            np.testing.assert_array_equal(rows[4], [2.0, 2.0])
+            # Outgrown segments stay linked until explicitly released, so
+            # attached readers are never yanked mid-request ...
+            shared_memory.SharedMemory(name=str(old_meta["vectors"])).close()
+            store.release_retired()
+            # ... and are unlinked afterwards.
+            _assert_unlinked(old_meta)
+
+    def test_attacher_sees_owner_writes_zero_copy(self):
+        owner = SharedMatrix(dim=2, capacity=4)
+        try:
+            owner.append(np.zeros((2, 2), dtype=np.float32), [0, 1])
+            reader = SharedMatrix.attach(owner.meta())
+            owner.set_rows([0], np.full((1, 2), 7.0, dtype=np.float32))
+            rows, ids = reader.view(owner.size)
+            np.testing.assert_array_equal(rows[0], [7.0, 7.0])
+            np.testing.assert_array_equal(ids, [0, 1])
+            reader.close()
+            # an attacher's close never unlinks: the owner can still map
+            shared_memory.SharedMemory(name=str(owner.meta()["vectors"])).close()
+        finally:
+            meta = owner.meta()
+            owner.close()
+        _assert_unlinked(meta)
+
+    def test_close_is_idempotent_and_unlinks(self):
+        store = SharedMatrix(dim=2, capacity=2)
+        meta = store.meta()
+        store.close()
+        store.close()
+        _assert_unlinked(meta)
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="dim"):
+            SharedMatrix(dim=0)
+        with pytest.raises(ValueError, match="capacity"):
+            SharedMatrix(dim=2, capacity=0)
+        with pytest.raises(ValueError, match="float32 or float64"):
+            SharedMatrix(dim=2, dtype=np.int64)
+        with SharedMatrix(dim=2, capacity=4) as store:
+            store.append(np.zeros((2, 2), dtype=np.float32), [0, 1])
+            with pytest.raises(ValueError, match="width dim"):
+                store.append(np.zeros((1, 3), dtype=np.float32), [2])
+            with pytest.raises(ValueError, match="match"):
+                store.append(np.zeros((2, 2), dtype=np.float32), [2])
+            with pytest.raises(ValueError, match="out of range"):
+                store.set_rows([5], np.zeros((1, 2), dtype=np.float32))
+            with pytest.raises(ValueError, match="one row per position"):
+                store.set_rows([0, 1], np.zeros((1, 2), dtype=np.float32))
+            with pytest.raises(ValueError, match="size exceeds"):
+                store.view(99)
+
+
+# --------------------------------------------------------------------- #
+# (2) the worker command handler, in-process
+# --------------------------------------------------------------------- #
+class TestWorkerExecute:
+    def test_search_matches_brute_force(self, rng):
+        vectors = rng.normal(size=(12, 4))
+        flat = BruteForceIndex().build(vectors)
+        prepared = flat._prepare_queries(rng.normal(size=(3, 4)))
+        with SharedMatrix(dim=4, capacity=16) as store:
+            store.append(flat._normalized, np.arange(12))
+            (status, results), _ = _execute(store, ("search", prepared, 5, None, 12))
+        assert status == "ok"
+        for (ids, scores), (flat_ids, flat_scores) in zip(
+            results, flat.search_batch(prepared, 5)
+        ):
+            np.testing.assert_array_equal(ids, flat_ids)
+            np.testing.assert_array_equal(scores, flat_scores)
+
+    def test_attach_swaps_matrix(self):
+        with SharedMatrix(dim=2, capacity=4) as store:
+            store.append(np.ones((1, 2), dtype=np.float32), [0])
+            (status, payload), attached = _execute(None, ("attach", store.meta()))
+            assert status == "ok" and payload is True
+            rows, ids = attached.view(1)
+            np.testing.assert_array_equal(ids, [0])
+            attached.close()
+
+    def test_ping_and_unknown_and_unattached(self):
+        (status, payload), _ = _execute(None, ("ping",))
+        assert (status, payload) == ("ok", "pong")
+        (status, payload), _ = _execute(None, ("nonsense",))
+        assert status == "error" and "unknown command" in payload
+        (status, payload), _ = _execute(None, ("search", np.ones((1, 2)), 1, None, 0))
+        assert status == "error" and "no attached shard" in payload
+
+
+# --------------------------------------------------------------------- #
+# (3) ProcessShardedIndex deterministic surface
+# --------------------------------------------------------------------- #
+class TestProcessShardedIndex:
+    def test_protocol_conformance(self):
+        assert isinstance(ProcessShardedIndex(), NeighborIndex)
+
+    def test_round_robin_partitioning(self, rng):
+        index = _pooled_index(3).build(rng.normal(size=(10, 4)))
+        assert index.shard_of(0) == (0, 0)
+        assert index.shard_of(1) == (1, 0)
+        assert index.shard_of(5) == (2, 1)
+        assert index.shard_of(9) == (0, 3)
+        assert [matrix.size for matrix in index._matrices] == [4, 3, 3]
+
+    def test_self_is_top_neighbor(self, rng):
+        vectors = rng.normal(size=(30, 8))
+        index = _pooled_index(3).build(vectors)
+        ids, sims = index.search(vectors[7], k=3)
+        assert ids[0] == 7
+        assert sims[0] == pytest.approx(1.0)
+
+    def test_exclusions_pass_through(self, rng):
+        vectors = rng.normal(size=(30, 8))
+        index = _pooled_index(3).build(vectors)
+        ids, _ = index.search(vectors[7], k=5, exclude=np.array([7]))
+        assert 7 not in ids
+
+    def test_update_routes_to_owning_shard(self, rng):
+        vectors = rng.normal(size=(12, 4))
+        index = _pooled_index(3).build(vectors)
+        fresh = rng.normal(size=4)
+        index.update(7, fresh)
+        ids, _ = index.search(fresh, k=1)
+        assert ids[0] == 7
+
+    def test_add_grows_across_capacity_doubling(self, rng):
+        # initial_capacity=8 per shard: 60 adds over 2 shards force the
+        # shared segments to double (twice) and the workers to re-attach.
+        vectors = rng.normal(size=(6, 5))
+        index = _pooled_index(2).build(vectors)
+        flat = BruteForceIndex().build(vectors)
+        for _ in range(4):
+            extra = rng.normal(size=(15, 5))
+            index.add(extra)
+            flat.add(extra)
+        assert index.size == flat.size == 66
+        queries = rng.normal(size=(3, 5))
+        for (ids, scores), (flat_ids, flat_scores) in zip(
+            index.search_batch(queries, 9), flat.search_batch(queries, 9)
+        ):
+            np.testing.assert_array_equal(ids, flat_ids)
+            np.testing.assert_array_equal(scores, flat_scores)
+
+    def test_custom_ids(self, rng):
+        vectors = rng.normal(size=(6, 3))
+        index = _pooled_index(2).build(vectors, ids=np.array([10, 20, 30, 40, 50, 60]))
+        got, _ = index.search(vectors[2], k=1)
+        assert got[0] == 30
+
+    def test_duplicate_ids_rejected_globally(self, rng):
+        index = _pooled_index(2).build(rng.normal(size=(6, 3)))
+        with pytest.raises(ValueError, match="collide"):
+            index.add(rng.normal(size=(1, 3)), ids=np.array([4]))
+        with pytest.raises(ValueError, match="unique"):
+            index.add(rng.normal(size=(2, 3)), ids=np.array([7, 7]))
+        with pytest.raises(ValueError, match="unique"):
+            index.build(rng.normal(size=(2, 3)), ids=np.array([1, 1]))
+        index.build(rng.normal(size=(6, 3)))  # leave the pooled index usable
+
+    def test_rebuild_reuses_workers_and_changes_dim(self, rng):
+        index = _pooled_index(2).build(rng.normal(size=(8, 4)))
+        workers_before = [proc.pid for proc in index._procs]
+        index.build(rng.normal(size=(5, 6)))  # narrower -> wider remaps segments
+        assert [proc.pid for proc in index._procs] == workers_before
+        assert index.dim == 6 and index.size == 5
+
+    def test_errors(self, rng):
+        with pytest.raises(ValueError):
+            ProcessShardedIndex(num_shards=0)
+        with pytest.raises(ValueError):
+            ProcessShardedIndex(metric="euclidean")
+        with pytest.raises(ValueError):
+            ProcessShardedIndex(dtype=np.int32)
+        with pytest.raises(ValueError):
+            ProcessShardedIndex(initial_capacity=0)
+        with pytest.raises(ValueError):
+            ProcessShardedIndex(response_timeout=0)
+        index = ProcessShardedIndex(num_shards=2)
+        with pytest.raises(RuntimeError):
+            index.search(np.ones(3), k=1)
+        with pytest.raises(RuntimeError):
+            index.update(0, np.ones(3))
+        with pytest.raises(RuntimeError):
+            index.add(np.ones((1, 3)))
+        with pytest.raises(ValueError, match="zero vectors"):
+            index.build(np.empty((0, 3)))
+        built = _pooled_index(2).build(rng.normal(size=(6, 3)))
+        with pytest.raises(ValueError):
+            built.search(np.ones(3), k=0)
+        with pytest.raises(ValueError, match="dimensionality"):
+            built.search(np.ones(7), k=2)
+        with pytest.raises(ValueError):
+            built.update(9, np.ones(3))
+        with pytest.raises(ValueError):
+            built.update_batch([0], np.ones((1, 7)))
+        with pytest.raises(ValueError, match="one entry per query"):
+            built.search_batch(np.ones((2, 3)), 1, exclude_per_query=[None])
+
+
+# --------------------------------------------------------------------- #
+# (3b) hypothesis parity with the unsharded brute force
+# --------------------------------------------------------------------- #
+def _run_process_parity(n, d, num_shards, k, seed, ops):
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n, d))
+    flat = BruteForceIndex().build(vectors)
+    sharded = _pooled_index(num_shards).build(vectors)
+
+    for op in ops:
+        if op == "add":
+            count = int(rng.integers(1, 6))
+            extra = rng.normal(size=(count, d))
+            flat.add(extra)
+            sharded.add(extra)
+        elif op == "zero":
+            # Exact score ties: zero rows (what add_users' gap fill creates)
+            # score an exact 0.0 against every query on both paths, so this
+            # exercises the deterministic position-order tie-breaking.
+            count = int(rng.integers(1, 5))
+            positions = rng.integers(0, flat.size, size=count)
+            zeros = np.zeros((count, d))
+            flat.update_batch(positions, zeros)
+            sharded.update_batch(positions, zeros)
+        else:
+            count = int(rng.integers(1, 5))
+            positions = rng.integers(0, flat.size, size=count)
+            replacements = rng.normal(size=(count, d))
+            flat.update_batch(positions, replacements)
+            sharded.update_batch(positions, replacements)
+
+    assert sharded.size == flat.size
+    queries = rng.normal(size=(4, d))
+    exclusions = [
+        None,
+        np.asarray([0], dtype=np.int64),
+        rng.integers(0, flat.size, size=3),
+        np.arange(flat.size, dtype=np.int64),  # everything excluded -> empty
+    ]
+    flat_results = flat.search_batch(queries, k, exclude_per_query=exclusions)
+    sharded_results = sharded.search_batch(queries, k, exclude_per_query=exclusions)
+    for (flat_ids, flat_scores), (sh_ids, sh_scores) in zip(flat_results, sharded_results):
+        np.testing.assert_array_equal(flat_ids, sh_ids)
+        np.testing.assert_array_equal(flat_scores, sh_scores)  # bit-identical
+
+
+@given(
+    num_shards=st.integers(1, 3),
+    extra_rows=st.integers(0, 30),
+    d=st.integers(2, 12),
+    k=st.integers(1, 15),
+    seed=st.integers(0, 2**31 - 1),
+    ops=st.lists(st.sampled_from(["add", "update", "zero"]), max_size=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_process_parity_with_brute_force(num_shards, extra_rows, d, k, seed, ops):
+    """Ids and scores bit-identical when every shard holds >= 2 rows.
+
+    Same contract (and same gemv caveat) as the thread backend's
+    ``test_sharded_parity_with_brute_force``: each candidate's score is the
+    same query-row/index-row dot product computed by the shard worker over
+    the shared-memory rows, and the merge re-rank reproduces ``top_k_rows``'s
+    deterministic tie order — zero-row exact ties included.
+    """
+
+    _run_process_parity(2 * num_shards + extra_rows, d, num_shards, k, seed, ops)
+
+
+@given(
+    n=st.integers(6, 40),
+    d=st.integers(2, 8),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=10, deadline=None)
+def test_process_equals_thread_backend(n, d, seed):
+    """The two shard backends answer identically (both match brute force)."""
+
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n, d))
+    queries = rng.normal(size=(3, d))
+    with ShardedIndex(num_shards=2) as threaded:
+        threaded.build(vectors)
+        process = _pooled_index(2).build(vectors)
+        for (thr_ids, thr_scores), (proc_ids, proc_scores) in zip(
+            threaded.search_batch(queries, 5), process.search_batch(queries, 5)
+        ):
+            np.testing.assert_array_equal(thr_ids, proc_ids)
+            np.testing.assert_array_equal(thr_scores, proc_scores)
+
+
+# --------------------------------------------------------------------- #
+# (4) lifecycle: no leaks, clean death, close cascade
+# --------------------------------------------------------------------- #
+class TestLifecycle:
+    def test_close_leaves_no_workers_or_segments(self, rng):
+        index = ProcessShardedIndex(num_shards=2, initial_capacity=4)
+        index.build(rng.normal(size=(10, 3)))
+        workers = list(index._procs)
+        metas = [matrix.meta() for matrix in index._matrices]
+        index.close()
+        index.close()  # idempotent
+        # close() joins and releases every worker Process object, so none of
+        # them can appear among the interpreter's live children
+        assert not any(proc in multiprocessing.active_children() for proc in workers)
+        for meta in metas:
+            _assert_unlinked(meta)
+        with pytest.raises(RuntimeError, match="closed"):
+            index.search(np.ones(3), k=1)
+        with pytest.raises(RuntimeError, match="closed"):
+            index.build(rng.normal(size=(4, 3)))
+
+    def test_context_manager_closes(self, rng):
+        with ProcessShardedIndex(num_shards=2, initial_capacity=4) as index:
+            index.build(rng.normal(size=(8, 3)))
+            metas = [matrix.meta() for matrix in index._matrices]
+            workers = list(index._procs)
+        assert not any(proc in multiprocessing.active_children() for proc in workers)
+        for meta in metas:
+            _assert_unlinked(meta)
+
+    def test_killed_worker_raises_then_closes_cleanly(self, rng):
+        index = ProcessShardedIndex(num_shards=2, initial_capacity=4)
+        index.build(rng.normal(size=(12, 3)))
+        metas = [matrix.meta() for matrix in index._matrices]
+        workers = list(index._procs)
+        index._procs[1].kill()
+        index._procs[1].join()
+        with pytest.raises(RuntimeError, match="died"):
+            index.search_batch(rng.normal(size=(2, 3)), 2)
+        # The failure poisons the index: the surviving worker's pipe may hold
+        # a reply for the failed round, so serving again could pair a new
+        # query with a stale answer — every call now refuses until close().
+        with pytest.raises(RuntimeError, match="failed state"):
+            index.search_batch(rng.normal(size=(2, 3)), 2)
+        with pytest.raises(RuntimeError, match="failed state"):
+            index.add(rng.normal(size=(1, 3)))
+        index.close()  # no hang, and everything is still reclaimed
+        assert not any(proc in multiprocessing.active_children() for proc in workers)
+        for meta in metas:
+            _assert_unlinked(meta)
+
+
+class TestStackWiring:
+    def test_neighborhood_shard_backend_knob(self):
+        component = UserNeighborhoodComponent(
+            num_neighbors=5, num_shards=2, shard_backend="process"
+        )
+        assert isinstance(component.index, ProcessShardedIndex)
+        component.index.build(np.eye(4))
+        workers = list(component.index._procs)
+        assert len(workers) == 2
+        component.close()
+        assert not any(proc in multiprocessing.active_children() for proc in workers)
+
+    def test_thread_backend_stays_default(self):
+        component = UserNeighborhoodComponent(num_neighbors=5, num_shards=2)
+        assert isinstance(component.index, ShardedIndex)
+        component.close()
+
+    def test_backend_validation(self):
+        with pytest.raises(ValueError, match="thread.*process"):
+            UserNeighborhoodComponent(num_shards=2, shard_backend="greenlet")
+        with pytest.raises(ValueError, match="thread.*process"):
+            SCCFConfig(shard_backend="greenlet")
+        with pytest.raises(ValueError, match="index_factory"):
+            UserNeighborhoodComponent(
+                num_shards=2, shard_backend="process", index_factory=BruteForceIndex
+            )
+
+    def test_server_close_cascades_to_workers(self, tiny_dataset, trained_fism):
+        config = SCCFConfig(
+            num_neighbors=8,
+            candidate_list_size=20,
+            merger_epochs=1,
+            num_shards=2,
+            shard_backend="process",
+            cache_capacity=16,
+            seed=3,
+        )
+        sccf = SCCF(trained_fism, config).fit(tiny_dataset, fit_ui_model=False)
+        index = sccf.neighborhood.index
+        assert isinstance(index, ProcessShardedIndex)
+        metas = [matrix.meta() for matrix in index._matrices]
+        workers = list(index._procs)
+        with RealTimeServer(sccf, tiny_dataset) as server:
+            server.observe(0, 1)
+            first = server.recommend(0, k=5)
+            assert server.recommend(0, k=5) == first  # cache epoch wiring holds
+        assert not any(proc in multiprocessing.active_children() for proc in workers)
+        for meta in metas:
+            _assert_unlinked(meta)
+
+    def test_process_backend_serves_like_thread_backend(self, tiny_dataset, trained_fism):
+        def build(backend):
+            config = SCCFConfig(
+                num_neighbors=8,
+                candidate_list_size=20,
+                merger_epochs=1,
+                num_shards=2,
+                shard_backend=backend,
+                seed=3,
+            )
+            return SCCF(trained_fism, config).fit(tiny_dataset, fit_ui_model=False)
+
+        users = list(range(0, tiny_dataset.num_users, 9))
+        with build("thread") as threaded, build("process") as process:
+            np.testing.assert_array_equal(
+                threaded.score_items_batch(users), process.score_items_batch(users)
+            )

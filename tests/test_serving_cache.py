@@ -95,6 +95,84 @@ class TestLRUCache:
         assert cache.stats.hits == 1
 
 
+class TestByteBudget:
+    """Memory-budget eviction: the layer is bounded by tracked nbytes, not count."""
+
+    def test_evicts_lru_tail_to_fit_budget(self):
+        row = np.zeros(100)  # 800 bytes
+        cache = LRUCache("scores", capacity=1000, max_bytes=2000)
+        cache.put("a", (0,), row)
+        cache.put("b", (0,), row)
+        assert cache.total_bytes == 1600
+        cache.get("a", (0,))          # refresh "a" — "b" is now LRU
+        cache.put("c", (0,), row)     # 2400 bytes > budget: "b" must go
+        assert cache.total_bytes == 1600
+        assert cache.stats.evictions == 1
+        assert "b" not in cache and "a" in cache and "c" in cache
+
+    def test_entry_count_never_bounds_before_bytes(self):
+        # 100 entries of 8 bytes fit a 1 KiB budget at capacity 1000: far
+        # fewer than capacity, far more than a count-agnostic budget allows.
+        cache = LRUCache("scores", capacity=1000, max_bytes=1024)
+        for index in range(200):
+            cache.put(index, (0,), np.zeros(1))  # 8 bytes each
+        assert len(cache) == 128
+        assert cache.total_bytes == 1024
+
+    def test_oversized_value_is_not_stored(self):
+        cache = LRUCache("scores", capacity=4, max_bytes=100)
+        cache.put("small", (0,), np.zeros(4))
+        cache.put("huge", (0,), np.zeros(1000))
+        assert "huge" not in cache
+        assert cache.get("small", (0,)) is not MISS  # untouched by the refusal
+
+    def test_replacement_updates_tracked_bytes(self):
+        cache = LRUCache("scores", capacity=4, max_bytes=10_000)
+        cache.put("a", (0,), np.zeros(100))
+        cache.put("a", (1,), np.zeros(10))
+        assert cache.total_bytes == 80
+
+    def test_invalidation_and_clear_release_bytes(self):
+        cache = LRUCache("scores", capacity=4, max_bytes=10_000)
+        cache.put("a", (0,), np.zeros(100))
+        assert cache.get("a", (1,)) is MISS  # stale token drops the entry
+        assert cache.total_bytes == 0
+        cache.put("b", (0,), np.zeros(50))
+        cache.clear()
+        assert cache.total_bytes == 0
+
+    def test_container_values_are_summed(self):
+        cache = LRUCache("neighbors", capacity=4, max_bytes=10_000)
+        cache.put("a", (0,), (np.zeros(10), np.zeros(10)))
+        assert cache.total_bytes == 160
+
+    def test_validation_and_wiring(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            LRUCache("scores", capacity=4, max_bytes=0)
+        with pytest.raises(ValueError):
+            ServingCache(capacity=4, max_score_bytes=-1)
+        cache = ServingCache(capacity=4, max_score_bytes=4096)
+        assert cache.scores.max_bytes == 4096
+        assert cache.embeddings.max_bytes is None  # only the scores layer
+
+    def test_served_scores_respect_budget(self, fitted_sccf, tiny_dataset):
+        """End to end: a tiny budget keeps the scores layer at ~one row."""
+
+        row_bytes = tiny_dataset.num_items * 8
+        cache = ServingCache(capacity=64, max_score_bytes=row_bytes + 1)
+        fitted_sccf.attach_cache(cache)
+        try:
+            users = tiny_dataset.evaluation_users()[:6]
+            scores = fitted_sccf.score_items_batch(users)
+            again = fitted_sccf.score_items_batch(users)
+            np.testing.assert_array_equal(scores, again)  # eviction never corrupts
+            assert cache.scores.total_bytes <= row_bytes + 1
+            assert len(cache.scores) <= 1
+            assert cache.scores.stats.evictions >= len(users) - 1
+        finally:
+            fitted_sccf.attach_cache(None)
+
+
 class TestCacheStats:
     def test_deterministic_accounting(self):
         cache = LRUCache("layer", capacity=2)
@@ -753,3 +831,91 @@ class TestMaintenanceScheduler:
     def test_server_without_scheduler(self, fitted_sccf, tiny_dataset):
         server = RealTimeServer(fitted_sccf, tiny_dataset)
         assert server.scheduler is None
+
+
+class TestWarmCachePrefill:
+    """Post-retrain cache prefill: head users are re-warmed off the hot path."""
+
+    @pytest.fixture()
+    def cached_server(self, tiny_dataset, trained_fism):
+        sccf = SCCF(
+            trained_fism,
+            SCCFConfig(
+                num_neighbors=10,
+                candidate_list_size=30,
+                merger_epochs=2,
+                cache_capacity=64,
+                seed=3,
+            ),
+            neighbor_index=IVFIndex(num_cells=4, n_probe=4, rng=np.random.default_rng(0)),
+        ).fit(tiny_dataset, fit_ui_model=False)
+        return RealTimeServer(sccf, tiny_dataset)
+
+    def test_prefill_picks_most_frequent_recent_users(self, cached_server):
+        for user, asks in ((0, 3), (1, 2), (2, 1)):
+            for _ in range(asks):
+                cached_server.recommend(user, k=5)
+        assert cached_server.prefill_cache(2) == [0, 1]
+
+    def test_prefilled_user_is_served_from_cache_after_retrain(self, cached_server):
+        sccf = cached_server.sccf
+        cached_server.recommend(3, k=5)
+        cached_server.recommend(3, k=5)
+        # A retrain bumps the epoch: every epoch-validated entry is stale.
+        sccf.neighborhood.index.retrain(num_iterations=2)
+        warmed = cached_server.prefill_cache(1)
+        assert warmed == [3]
+        hits_before = sccf.cache.scores.stats.hits
+        result = cached_server.recommend(3, k=5)
+        assert sccf.cache.scores.stats.hits == hits_before + 1
+        # ... and the warmed entry serves exactly what a cold compute would.
+        sccf.cache.clear()
+        assert cached_server.recommend(3, k=5) == result
+
+    def test_maintain_prefills_after_retrain(self, cached_server, trained_fism):
+        cached_server.recommend(0, k=5)
+        cached_server.recommend(1, k=5)
+        # skew the pool the way a drifted stream would, forcing a retrain
+        rng = np.random.default_rng(9)
+        drift = rng.normal(size=(300, trained_fism.embedding_dim))
+        drift[:, 0] += 4.0
+        cached_server.sccf.neighborhood.index.add(drift)
+        report = cached_server.maintain(imbalance_threshold=1.5, prefill_users=2)
+        assert report.retrained
+        assert report.prefilled_users == 2
+        # without a retrain nothing is prefetched (threshold far above skew)
+        assert (
+            cached_server.maintain(imbalance_threshold=50.0, prefill_users=2).prefilled_users
+            == 0
+        )
+
+    def test_prefill_without_cache_or_activity(self, fitted_sccf, tiny_dataset):
+        server = RealTimeServer(fitted_sccf, tiny_dataset)
+        server.recommend(0, k=3)
+        assert server.prefill_cache(4) == []  # no cache attached
+        cached = SCCF(
+            fitted_sccf.ui_model,
+            SCCFConfig(num_neighbors=10, candidate_list_size=30, merger_epochs=2,
+                       cache_capacity=8, seed=3),
+        ).fit(tiny_dataset, fit_ui_model=False)
+        idle = RealTimeServer(cached, tiny_dataset)
+        assert idle.prefill_cache(4) == []  # no recorded activity
+        with pytest.raises(ValueError):
+            idle.prefill_cache(0)
+
+    def test_activity_window_bounds_and_validation(self, fitted_sccf, tiny_dataset):
+        with pytest.raises(ValueError):
+            RealTimeServer(fitted_sccf, tiny_dataset, activity_window=0)
+        server = RealTimeServer(fitted_sccf, tiny_dataset, activity_window=3)
+        for user in (0, 0, 0, 1, 1, 2):
+            server.observe(user, 1)
+        # only the last three events are remembered: 1, 1, 2
+        assert list(server._recent_active) == [1, 1, 2]
+
+    def test_scheduler_prefill_knob(self, cached_server):
+        with pytest.raises(ValueError):
+            MaintenanceScheduler(cached_server, every_events=1, prefill_users=0)
+        scheduler = MaintenanceScheduler(cached_server, every_events=1, prefill_users=3)
+        assert scheduler.prefill_users == 3
+        report = scheduler.notify(1)
+        assert report is not None and report.prefilled_users == 0  # balanced: no retrain
