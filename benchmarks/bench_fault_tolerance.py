@@ -1,0 +1,262 @@
+"""Serving availability under a worker kill schedule (chaos benchmark).
+
+The fault-tolerance question is quantitative: when shard workers keep
+dying, what fraction of requests still get an answer, how much throughput
+does supervision cost, and how long does a wounded pool take to heal?
+This bench runs a fixed query stream through a degrade-policy
+:class:`~repro.ann.process_sharded.ProcessShardedIndex` twice:
+
+1. **baseline** — no faults, measuring the supervised backend's normal
+   QPS and latency percentiles;
+2. **chaos** — the same stream with a deterministic
+   :class:`~repro.testing.FaultInjector` schedule SIGKILLing one random
+   live worker every ``--kill-every`` queries (the OOM-killer cadence);
+3. **recovery** — isolated kill→healed trials (no concurrent query
+   pressure), because a saturating single-core query loop starves the
+   respawning child of CPU and the in-stream recovery count then
+   understates how fast an idle-or-lightly-loaded pool actually heals.
+
+Per-query accounting distinguishes three outcomes: a **full** answer
+(every shard reported), a **degraded** answer (survivors only — served,
+not cached by upper layers), and an **empty** answer (every shard down at
+once).  *Availability* is the fraction of queries that returned results at
+all (full or degraded); the acceptance bar for the fault-tolerance PR is
+**availability >= 99%** under the kill-every-500-queries run.
+*Time-to-recover* is measured per outage: from the kill to the first
+subsequent full (non-degraded) answer.
+
+The index under test uses a short restart backoff (kills here are
+independent incidents, not a crash loop, so waiting out the exponential
+schedule would measure the backoff policy rather than the recovery path).
+
+Run it directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py
+    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py --kill-every 250 --shards 3
+    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py --smoke   # tiny CI configuration
+
+Emits ``BENCH_fault_tolerance.json`` next to the run (redirect with
+``$BENCH_RESULTS_DIR``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.ann import ProcessShardedIndex
+from repro.testing import FaultInjector
+
+from _bench_utils import emit_bench_json
+
+
+def _percentiles(latencies_ms: List[float]) -> Dict[str, float]:
+    return {
+        "p50_ms": float(np.percentile(latencies_ms, 50)),
+        "p99_ms": float(np.percentile(latencies_ms, 99)),
+    }
+
+
+def _make_index(num_shards: int) -> ProcessShardedIndex:
+    return ProcessShardedIndex(
+        num_shards=num_shards,
+        failure_policy="degrade",
+        restart_backoff=0.01,
+        restart_backoff_cap=0.25,
+    )
+
+
+def bench_baseline(
+    vectors: np.ndarray, queries: np.ndarray, k: int, num_shards: int
+) -> Dict:
+    """QPS/latency of the supervised backend with no faults injected."""
+
+    with _make_index(num_shards) as index:
+        index.build(vectors)
+        index.search_batch(queries[:1], k)  # warm up workers/BLAS
+        latencies_ms: List[float] = []
+        start = time.perf_counter()
+        for query in queries:
+            query_start = time.perf_counter()
+            index.search_batch(query[None, :], k)
+            latencies_ms.append((time.perf_counter() - query_start) * 1000.0)
+        elapsed = time.perf_counter() - start
+    return {"qps": len(queries) / elapsed, **_percentiles(latencies_ms)}
+
+
+def bench_chaos(
+    vectors: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    num_shards: int,
+    kill_every: int,
+    seed: int,
+) -> Dict:
+    """The same stream under a deterministic kill-every-N-queries schedule."""
+
+    injector = FaultInjector(seed=seed, kill_every=kill_every)
+    full = degraded = empty = 0
+    latencies_ms: List[float] = []
+    recoveries_ms: List[float] = []
+    outage_since = None
+
+    with _make_index(num_shards) as index:
+        index.build(vectors)
+        index.search_batch(queries[:1], k)  # warm up workers/BLAS
+        start = time.perf_counter()
+        for query in queries:
+            if injector.tick(index) is not None and outage_since is None:
+                outage_since = time.perf_counter()
+            query_start = time.perf_counter()
+            results = index.search_batch(query[None, :], k)
+            now = time.perf_counter()
+            latencies_ms.append((now - query_start) * 1000.0)
+            if getattr(results, "degraded", False):
+                if any(len(ids) for ids, _ in results):
+                    degraded += 1
+                else:
+                    empty += 1
+            else:
+                full += 1
+                if outage_since is not None:
+                    recoveries_ms.append((now - outage_since) * 1000.0)
+                    outage_since = None
+        elapsed = time.perf_counter() - start
+        healed = index.wait_until_healthy(timeout=60.0)
+        restarts = index.restarts_total
+
+    total = len(queries)
+    return {
+        "queries": total,
+        "kills": injector.kills,
+        "kill_log": injector.kill_log,
+        "full_answers": full,
+        "degraded_answers": degraded,
+        "empty_answers": empty,
+        "availability": (full + degraded) / total,
+        "degraded_fraction": degraded / total,
+        "qps": total / elapsed,
+        **_percentiles(latencies_ms),
+        "recoveries": len(recoveries_ms),
+        "mean_recovery_ms": float(np.mean(recoveries_ms)) if recoveries_ms else None,
+        "max_recovery_ms": float(np.max(recoveries_ms)) if recoveries_ms else None,
+        "restarts_total": restarts,
+        "healed_at_end": healed,
+    }
+
+
+def bench_recovery(
+    vectors: np.ndarray, k: int, num_shards: int, trials: int, seed: int
+) -> Dict:
+    """Kill→healed wall clock per outage, measured without query pressure."""
+
+    injector = FaultInjector(seed=seed)
+    times_ms: List[float] = []
+    with _make_index(num_shards) as index:
+        index.build(vectors)
+        for _ in range(trials):
+            assert index.wait_until_healthy(timeout=60.0)
+            injector.kill_worker(index)
+            start = time.perf_counter()
+            healed = index.wait_until_healthy(timeout=60.0)
+            assert healed, "worker failed to recover within 60 s"
+            times_ms.append((time.perf_counter() - start) * 1000.0)
+    return {
+        "trials": trials,
+        "mean_recovery_ms": float(np.mean(times_ms)),
+        "max_recovery_ms": float(np.max(times_ms)),
+        "recovery_ms": times_ms,
+    }
+
+
+def format_report(baseline: Dict, chaos: Dict, recovery: Dict, kill_every: int) -> str:
+    lines = [
+        f"fault tolerance: kill one worker every {kill_every} queries, degrade policy",
+        f"  baseline:      {baseline['qps']:>8.0f} QPS   p50 {baseline['p50_ms']:.2f} ms   p99 {baseline['p99_ms']:.2f} ms",
+        f"  under chaos:   {chaos['qps']:>8.0f} QPS   p50 {chaos['p50_ms']:.2f} ms   p99 {chaos['p99_ms']:.2f} ms",
+        f"  kills/restarts: {chaos['kills']} / {chaos['restarts_total']}"
+        f"   healed at end: {chaos['healed_at_end']}",
+        f"  answers: {chaos['full_answers']} full, {chaos['degraded_answers']} degraded, "
+        f"{chaos['empty_answers']} empty over {chaos['queries']} queries",
+        f"  availability: {chaos['availability']:.2%}",
+    ]
+    if chaos["recoveries"]:
+        lines.append(
+            f"  in-stream recoveries: mean {chaos['mean_recovery_ms']:.0f} ms, "
+            f"max {chaos['max_recovery_ms']:.0f} ms over {chaos['recoveries']} outages"
+        )
+    lines.append(
+        f"  time-to-recover (idle pool): mean {recovery['mean_recovery_ms']:.0f} ms, "
+        f"max {recovery['max_recovery_ms']:.0f} ms over {recovery['trials']} trials"
+    )
+    return "\n".join(lines)
+
+
+def main() -> Dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-rows", type=int, default=20_000)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--num-queries", type=int, default=3000)
+    parser.add_argument("--k", type=int, default=50)
+    parser.add_argument(
+        "--shards", type=int, default=3,
+        help="3 by default: worker respawn takes ~0.5 s, so on a slow box two "
+             "outages can overlap — a third shard keeps the pool answering",
+    )
+    parser.add_argument(
+        "--kill-every", type=int, default=500,
+        help="SIGKILL one random live worker every N queries",
+    )
+    parser.add_argument("--seed", type=int, default=19)
+    parser.add_argument(
+        "--recovery-trials", type=int, default=3,
+        help="isolated kill->healed measurements (no query pressure)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI configuration: just proves the bench runs end to end",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.num_rows, args.dim, args.num_queries = 2000, 16, 400
+        args.k, args.kill_every = 20, 200
+        args.recovery_trials = 1
+
+    rng = np.random.default_rng(args.seed)
+    vectors = rng.normal(size=(args.num_rows, args.dim))
+    queries = rng.normal(size=(args.num_queries, args.dim))
+
+    baseline = bench_baseline(vectors, queries, args.k, args.shards)
+    chaos = bench_chaos(
+        vectors, queries, args.k, args.shards, args.kill_every, args.seed
+    )
+    recovery = bench_recovery(
+        vectors, args.k, args.shards, args.recovery_trials, args.seed
+    )
+    print(format_report(baseline, chaos, recovery, args.kill_every))
+    report = {
+        "cores": os.cpu_count(),
+        "config": {
+            "num_rows": args.num_rows,
+            "dim": args.dim,
+            "num_queries": args.num_queries,
+            "k": args.k,
+            "shards": args.shards,
+            "kill_every": args.kill_every,
+            "seed": args.seed,
+        },
+        "baseline": baseline,
+        "chaos": chaos,
+        "recovery": recovery,
+    }
+    emit_bench_json("fault_tolerance", report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

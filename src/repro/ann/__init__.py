@@ -7,8 +7,8 @@ import numpy as np
 from .brute_force import BruteForceIndex, top_k_rows
 from .ivf import DEFAULT_RETRAIN_THRESHOLD, IVFIndex, kmeans
 from .metrics import cosine_similarity, inner_product, normalize_rows, pairwise_similarity
-from .process_sharded import ProcessShardedIndex
-from .sharded import ShardedIndex
+from .process_sharded import ProcessShardedIndex, ShardHealth
+from .sharded import SearchResults, ShardedIndex
 from .shm import SharedMatrix
 
 __all__ = [
@@ -17,6 +17,8 @@ __all__ = [
     "IVFIndex",
     "ShardedIndex",
     "ProcessShardedIndex",
+    "SearchResults",
+    "ShardHealth",
     "SharedMatrix",
     "DEFAULT_RETRAIN_THRESHOLD",
     "kmeans",

@@ -1,4 +1,4 @@
-"""Process-level shard workers over a shared-memory vector store.
+"""Supervised process-level shard workers over a shared-memory vector store.
 
 :class:`~repro.ann.sharded.ShardedIndex` fans per-shard searches out over a
 ``ThreadPoolExecutor`` — the in-process *rehearsal* for this module.  Python
@@ -28,28 +28,54 @@ writes, zero-copy.  The division of labor:
   results are **bit-identical** to the unsharded ``BruteForceIndex`` (the
   single-row-shard gemv caveat of the thread backend applies equally).
 
-Workers are spawn-safe (the worker entrypoint is a module-level function and
-all hand-off state is picklable or named shared memory), lifecycle is
-explicit — ``close()`` stops the workers, joins them, and unlinks every
-segment; the context manager and ``__del__`` call it — and a worker death
-surfaces as a clear ``RuntimeError`` instead of a hang.
+At production scale partial failure is the steady state, so the worker pool
+is *supervised* rather than fail-stop:
+
+* Every request carries a **sequence number** the worker echoes back; a late
+  reply from a timed-out round (or from a worker that has since been
+  replaced) is discarded instead of being paired with the next request — the
+  old "any desync is fatal" stance is gone.
+* A worker that dies, answers with an error, or misses its response deadline
+  is **reaped and respawned** with exponential backoff, up to a per-shard
+  ``restart_budget``.  All shard state lives in the shared segments the
+  parent owns, so a respawned worker re-attaches zero-copy and resumes
+  bit-identical serving; a shard whose budget is exhausted is tombstoned.
+* ``failure_policy`` decides what a search does while shards are down:
+  ``"raise"`` (default) raises a ``RuntimeError`` until the pool heals,
+  ``"degrade"`` merges the surviving shards' results and tags the return
+  value (:class:`~repro.ann.sharded.SearchResults` with ``degraded=True``,
+  counted in ``degraded_requests``) so serving caches and callers can tell a
+  partial answer from a complete one.
+
+Per-shard liveness, restart counts and last errors are surfaced through
+:meth:`ProcessShardedIndex.shard_health`; :meth:`wait_until_healthy` blocks
+until every shard is live again (chaos tests use it to assert post-recovery
+parity).  Workers are spawn-safe (the worker entrypoint is a module-level
+function and all hand-off state is picklable or named shared memory), and
+lifecycle is explicit — ``close()`` stops the workers, joins them (escalating
+``terminate()`` → ``kill()`` for wedged ones), and unlinks every segment; the
+context manager and ``__del__`` call it.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .brute_force import apply_exclusions, check_new_ids, prepare_rows, top_k_rows
-from .sharded import ScatterGatherMixin
+from .sharded import ScatterGatherMixin, SearchResults
 from .shm import SharedMatrix
 
-__all__ = ["ProcessShardedIndex"]
+__all__ = ["ProcessShardedIndex", "ShardHealth"]
 
 _SUPPORTED_DTYPES = (np.float32, np.float64)
+
+#: per-shard supervision states
+_LIVE, _PENDING, _DOWN, _DEAD = "live", "pending", "down", "dead"
 
 
 def _execute(matrix: Optional[SharedMatrix], command: Tuple) -> Tuple[Tuple, Optional[SharedMatrix]]:
@@ -57,7 +83,7 @@ def _execute(matrix: Optional[SharedMatrix], command: Tuple) -> Tuple[Tuple, Opt
 
     ``response`` is ``("ok", payload)`` or ``("error", message)``.  The
     returned matrix replaces the worker's current one (the ``attach`` command
-    swaps in freshly mapped segments after a capacity doubling).
+    swaps in freshly mapped segments after a capacity doubling or a respawn).
     """
 
     op = command[0]
@@ -85,16 +111,19 @@ def _shard_worker_main(conn) -> None:  # pragma: no cover
     """Worker loop (runs in spawned child processes — covered by _execute tests).
 
     Workers start bare; the parent's first ``attach`` command maps their
-    shard's shared segments.
+    shard's shared segments.  Every message is ``(seq, op, *args)`` and every
+    reply ``(seq, status, payload)`` — the sequence number is what lets the
+    parent discard replies from rounds it has already given up on.
     """
 
     matrix: Optional[SharedMatrix] = None
     try:
         while True:
             try:
-                command = conn.recv()
+                message = conn.recv()
             except (EOFError, OSError):
                 break
+            seq, command = message[0], message[1:]
             if command[0] == "stop":
                 break
             try:
@@ -102,7 +131,7 @@ def _shard_worker_main(conn) -> None:  # pragma: no cover
             except Exception as exc:
                 response = ("error", f"{type(exc).__name__}: {exc}")
             try:
-                conn.send(response)
+                conn.send((seq, *response))
             except (BrokenPipeError, OSError):
                 break
     finally:
@@ -111,15 +140,67 @@ def _shard_worker_main(conn) -> None:  # pragma: no cover
         conn.close()
 
 
+@dataclass
+class ShardHealth:
+    """Liveness snapshot of one shard worker (see :meth:`ProcessShardedIndex.shard_health`)."""
+
+    shard: int
+    state: str  # "live" | "pending" (respawned, re-attach in flight) | "down" | "dead"
+    alive: bool
+    rows: int
+    restarts: int
+    failures: int
+    last_error: Optional[str] = None
+
+
+class _WorkerSlot:
+    """Supervision state for one shard's worker process."""
+
+    __slots__ = (
+        "proc",
+        "conn",
+        "state",
+        "restarts",
+        "failures",
+        "last_error",
+        "next_restart_at",
+        "pending_seq",
+        "pending_meta",
+        "pending_deadline",
+        "acked_meta",
+    )
+
+    def __init__(self) -> None:
+        self.proc = None
+        self.conn = None
+        self.state = _DOWN
+        self.restarts = 0
+        self.failures = 0
+        self.last_error: Optional[str] = None
+        self.next_restart_at = 0.0
+        self.pending_seq: Optional[int] = None
+        self.pending_meta: Optional[Tuple[str, str]] = None
+        self.pending_deadline = 0.0
+        self.acked_meta: Optional[Tuple[str, str]] = None
+
+
+class _WorkerFailure(Exception):
+    """Internal control-flow signal: shard ``args[0]`` just failed (already reaped)."""
+
+
 class ProcessShardedIndex(ScatterGatherMixin):
-    """Scatter-gather top-k search over S persistent worker *processes*.
+    """Supervised scatter-gather top-k search over S persistent worker *processes*.
 
     Drop-in for :class:`~repro.ann.sharded.ShardedIndex` where the fan-out
     must actually use multiple cores.  Results are bit-identical to the
     unsharded :class:`~repro.ann.brute_force.BruteForceIndex`; mutations are
     routed by the same ``p % S`` arithmetic and bump ``epoch`` for the
-    serving cache.  Unlike the thread backend, ``close()`` is terminal: the
-    workers and shared segments are gone, and any further call raises.
+    serving cache.  Dead or hung workers are automatically respawned (their
+    shard state lives in shared memory, so a respawn is cheap and
+    bit-preserving); ``failure_policy`` decides whether searches raise or
+    degrade while shards are down.  Unlike the thread backend, ``close()``
+    is terminal: the workers and shared segments are gone, and any further
+    call raises.
 
     Parameters
     ----------
@@ -136,7 +217,25 @@ class ProcessShardedIndex(ScatterGatherMixin):
         Rows each shard's shared segments start with; appends double it
         (workers re-attach on growth).
     response_timeout:
-        Seconds to wait for a worker's reply before declaring it hung.
+        Seconds to wait for a worker's reply before declaring it hung (a
+        hung worker is killed and respawned like a dead one).
+    failure_policy:
+        ``"raise"`` (default): a search while any populated shard cannot
+        answer raises ``RuntimeError`` — restarts still proceed, so a later
+        call (or :meth:`wait_until_healthy`) heals the pool.  ``"degrade"``:
+        the search merges the surviving shards' partial results and returns
+        them tagged (``SearchResults.degraded``), counting the request in
+        ``degraded_requests``.
+    restart_budget:
+        Maximum automatic restarts per shard before it is tombstoned
+        (``"dead"``).  A fresh :meth:`build` resets the budgets — rebuilding
+        is the operator-level recovery path.
+    restart_backoff / restart_backoff_cap:
+        Initial delay before respawning a failed worker, doubled per restart
+        of that shard up to the cap (seconds).
+    spawn_timeout:
+        Seconds a freshly spawned worker gets to come up and acknowledge its
+        ``attach`` before the supervisor declares the spawn failed.
     """
 
     def __init__(
@@ -147,6 +246,11 @@ class ProcessShardedIndex(ScatterGatherMixin):
         start_method: str = "spawn",
         initial_capacity: int = 64,
         response_timeout: float = 60.0,
+        failure_policy: str = "raise",
+        restart_budget: int = 8,
+        restart_backoff: float = 0.05,
+        restart_backoff_cap: float = 2.0,
+        spawn_timeout: float = 60.0,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -159,108 +263,305 @@ class ProcessShardedIndex(ScatterGatherMixin):
             raise ValueError("initial_capacity must be positive")
         if response_timeout <= 0:
             raise ValueError("response_timeout must be positive")
+        if failure_policy not in ("raise", "degrade"):
+            raise ValueError("failure_policy must be 'raise' or 'degrade'")
+        if restart_budget < 0:
+            raise ValueError("restart_budget must be non-negative")
+        if restart_backoff < 0 or restart_backoff_cap < restart_backoff:
+            raise ValueError("restart_backoff must be in [0, restart_backoff_cap]")
+        if spawn_timeout <= 0:
+            raise ValueError("spawn_timeout must be positive")
         self.num_shards = num_shards
         self.metric = metric
         self.dtype = dtype
         self.initial_capacity = initial_capacity
         self.response_timeout = response_timeout
+        self.failure_policy = failure_policy
+        self.restart_budget = restart_budget
+        self.restart_backoff = restart_backoff
+        self.restart_backoff_cap = restart_backoff_cap
+        self.spawn_timeout = spawn_timeout
         #: monotonically increasing mutation counter: bumped by every build /
         #: add / update / update_batch, so serving caches can validate stored
         #: search results in O(1) (see :mod:`repro.core.cache`).
         self.epoch = 0
+        #: searches answered from a strict subset of the populated shards
+        #: (only ever bumped under ``failure_policy="degrade"``); serving
+        #: caches snapshot this counter to refuse degraded entries.
+        self.degraded_requests = 0
         self._ctx = multiprocessing.get_context(start_method)
         self._ids: Optional[np.ndarray] = None
         self._dim: int = 0
         self._id_order: Optional[np.ndarray] = None
         self._matrices: List[SharedMatrix] = []
-        self._procs: List[multiprocessing.process.BaseProcess] = []
-        self._conns: List = []
+        self._slots: List[_WorkerSlot] = []
+        self._seq = 0
         self._closed = False
-        # Set when the worker protocol desynchronizes (a worker died, hung
-        # past the timeout, or answered with an error): replies for the
-        # failed round may still sit unread in the pipes, so serving another
-        # request could silently pair a new query with a stale reply.  Every
-        # subsequent call refuses until close().
-        self._failed = False
 
     # ------------------------------------------------------------------ #
-    # worker pool plumbing
+    # worker pool plumbing and supervision
     # ------------------------------------------------------------------ #
+    @property
+    def _procs(self) -> List:
+        """The current worker processes, slot by slot (diagnostics/tests)."""
+
+        return [slot.proc for slot in self._slots]
+
     @property
     def workers_alive(self) -> int:
         """How many shard workers are currently running (0 before build/after close)."""
 
-        return sum(1 for proc in self._procs if proc.is_alive())
+        return sum(1 for slot in self._slots if slot.proc is not None and slot.proc.is_alive())
+
+    @property
+    def restarts_total(self) -> int:
+        """Automatic worker restarts performed over this index's lifetime."""
+
+        return sum(slot.restarts for slot in self._slots)
+
+    @property
+    def healthy(self) -> bool:
+        """True when every shard worker is live (no restarts or tombstones in flight)."""
+
+        return bool(self._slots) and all(slot.state == _LIVE for slot in self._slots)
+
+    def shard_health(self) -> List[ShardHealth]:
+        """Per-shard liveness / restart / failure snapshot (after a supervision pass)."""
+
+        self._supervise()
+        return [
+            ShardHealth(
+                shard=shard,
+                state=slot.state,
+                alive=slot.proc is not None and slot.proc.is_alive(),
+                rows=self._matrices[shard].size if shard < len(self._matrices) else 0,
+                restarts=slot.restarts,
+                failures=slot.failures,
+                last_error=slot.last_error,
+            )
+            for shard, slot in enumerate(self._slots)
+        ]
+
+    def wait_until_healthy(self, timeout: float = 30.0) -> bool:
+        """Drive supervision until every shard is live again; False on timeout.
+
+        Chaos tests call this after injected kills to assert post-recovery
+        parity; servers can call it from a maintenance pass.  Tombstoned
+        shards never heal without a rebuild, so a pool with a dead shard
+        returns False immediately.
+        """
+
+        deadline = time.monotonic() + timeout
+        while True:
+            self._supervise()
+            if self.healthy:
+                return True
+            if any(slot.state == _DEAD for slot in self._slots):
+                return False
+            if time.monotonic() > deadline:
+                return False
+            time.sleep(0.02)
 
     def _require_open(self) -> None:
         if self._closed:
             raise RuntimeError("ProcessShardedIndex is closed")
-        if self._failed:
-            raise RuntimeError(
-                "ProcessShardedIndex is in a failed state (a shard worker "
-                "died, hung, or errored; its command pipe may hold stale "
-                "replies) — close() the index and rebuild"
-            )
 
-    def _ensure_workers(self) -> None:
-        if self._procs:
-            return
-        for shard in range(self.num_shards):
-            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-            proc = self._ctx.Process(
-                target=_shard_worker_main,
-                args=(child_conn,),
-                name=f"shard-worker-{shard}",
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()  # the worker holds the only live child end now
-            self._procs.append(proc)
-            self._conns.append(parent_conn)
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
 
-    def _worker_died(self, shard: int) -> None:
-        exitcode = self._procs[shard].exitcode if shard < len(self._procs) else None
-        self._failed = True
-        raise RuntimeError(
-            f"shard worker {shard} died (exitcode {exitcode}); "
-            "close() the index and rebuild — its shard can no longer answer"
+    def _meta_names(self, shard: int) -> Tuple[str, str]:
+        return self._matrices[shard].segment_names
+
+    def _spawn_process(self, shard: int) -> None:
+        """Create the pipe + process for ``shard`` (caller sets the slot state)."""
+
+        slot = self._slots[shard]
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn,),
+            name=f"shard-worker-{shard}",
+            daemon=True,
         )
+        proc.start()
+        child_conn.close()  # the worker holds the only live child end now
+        slot.proc, slot.conn = proc, parent_conn
 
-    def _send(self, shard: int, command: Tuple) -> None:
-        try:
-            self._conns[shard].send(command)
-        except (BrokenPipeError, OSError):
-            self._worker_died(shard)
+    def _reap(self, slot: _WorkerSlot) -> None:
+        """Kill (if needed) and release a slot's process and pipe."""
 
-    def _receive(self, shard: int):
-        conn = self._conns[shard]
-        deadline = time.monotonic() + self.response_timeout
-        while not conn.poll(0.05):
-            if not self._procs[shard].is_alive():
-                self._worker_died(shard)
-            if time.monotonic() > deadline:
-                # The late reply (and the other shards' unread ones) would
-                # desynchronize the pipes — refuse further serving.
-                self._failed = True
-                raise RuntimeError(
-                    f"shard worker {shard} did not answer within "
-                    f"{self.response_timeout:.0f}s; close() the index and rebuild"
-                )
+        if slot.proc is not None:
+            if slot.proc.is_alive():
+                slot.proc.kill()
+                slot.proc.join(timeout=5.0)
+            try:
+                slot.proc.close()
+            except Exception:  # pragma: no cover — already closed
+                pass
+        if slot.conn is not None:
+            try:
+                slot.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        slot.proc = None
+        slot.conn = None
+
+    def _handle_failure(self, shard: int, reason: str) -> None:
+        """Reap a failed worker and schedule its restart (or tombstone it)."""
+
+        slot = self._slots[shard]
+        slot.failures += 1
+        slot.last_error = reason
+        slot.pending_seq = None
+        slot.pending_meta = None
+        self._reap(slot)
+        if slot.restarts >= self.restart_budget:
+            slot.state = _DEAD
+            # Nobody maps this shard's outgrown segments anymore; stop
+            # holding them for a re-attach that will never come.
+            if shard < len(self._matrices):
+                self._matrices[shard].release_retired()
+            return
+        slot.state = _DOWN
+        backoff = min(
+            self.restart_backoff * (2 ** slot.restarts), self.restart_backoff_cap
+        )
+        slot.next_restart_at = time.monotonic() + backoff
+
+    def _restart(self, shard: int) -> None:
+        """Respawn a down shard's worker and send its (non-blocking) re-attach."""
+
+        slot = self._slots[shard]
+        slot.restarts += 1
+        self._spawn_process(shard)
+        slot.state = _PENDING
+        slot.pending_deadline = time.monotonic() + self.spawn_timeout
         try:
-            status, payload = conn.recv()
+            slot.pending_seq = self._send(shard, ("attach", self._matrices[shard].meta()))
+            slot.pending_meta = self._meta_names(shard)
+        except _WorkerFailure:
+            pass  # died on arrival: _handle_failure already rescheduled it
+
+    def _poll_pending(self, shard: int) -> None:
+        """Promote a respawned worker to live once its re-attach is acknowledged."""
+
+        slot = self._slots[shard]
+        conn = slot.conn
+        try:
+            while conn.poll(0):
+                seq, status, payload = conn.recv()
+                if seq != slot.pending_seq:
+                    continue  # stale reply from a pre-restart round — discard
+                if status != "ok":
+                    self._handle_failure(shard, f"re-attach failed: {payload}")
+                    return
+                if slot.pending_meta != self._meta_names(shard):
+                    # The segments grew (or were rebuilt) while the attach was
+                    # in flight: chase the current generation before going live.
+                    slot.pending_seq = self._send(
+                        shard, ("attach", self._matrices[shard].meta())
+                    )
+                    slot.pending_meta = self._meta_names(shard)
+                    slot.pending_deadline = time.monotonic() + self.spawn_timeout
+                    return
+                slot.state = _LIVE
+                slot.acked_meta = slot.pending_meta
+                slot.pending_seq = None
+                slot.pending_meta = None
+                self._matrices[shard].release_retired()
+                return
         except (EOFError, OSError):
-            self._worker_died(shard)
-        if status != "ok":
-            # Unexpected by construction (the parent validates before
-            # sending), and sibling shards' replies are still queued — same
-            # desync hazard as a timeout.
-            self._failed = True
-            raise RuntimeError(f"shard worker {shard} failed: {payload}")
-        return payload
+            self._handle_failure(shard, "worker died while re-attaching")
+            return
+        except _WorkerFailure:
+            return
+        if slot.proc is None or not slot.proc.is_alive():
+            self._handle_failure(
+                shard, f"worker died while re-attaching (exitcode {slot.proc.exitcode if slot.proc else None})"
+            )
+        elif time.monotonic() > slot.pending_deadline:
+            self._handle_failure(shard, "respawned worker missed its attach deadline")
 
-    def _request(self, shard: int, command: Tuple):
-        self._send(shard, command)
-        return self._receive(shard)
+    def _supervise(self) -> None:
+        """One supervision pass: detect silent deaths, promote respawns, restart."""
+
+        now = time.monotonic()
+        for shard, slot in enumerate(self._slots):
+            if slot.state == _LIVE:
+                if slot.proc is None or not slot.proc.is_alive():
+                    self._handle_failure(
+                        shard,
+                        f"worker died (exitcode {slot.proc.exitcode if slot.proc else None})",
+                    )
+            if slot.state == _PENDING:
+                self._poll_pending(shard)
+            if slot.state == _DOWN and now >= slot.next_restart_at:
+                self._restart(shard)
+                if slot.state == _PENDING:
+                    self._poll_pending(shard)
+
+    def _send(self, shard: int, command: Tuple) -> int:
+        slot = self._slots[shard]
+        seq = self._next_seq()
+        try:
+            slot.conn.send((seq, *command))
+        except (BrokenPipeError, OSError):
+            self._handle_failure(shard, "worker pipe closed mid-send")
+            raise _WorkerFailure(shard)
+        return seq
+
+    def _receive(self, shard: int, expected_seq: int, timeout: Optional[float] = None):
+        slot = self._slots[shard]
+        conn = slot.conn
+        deadline = time.monotonic() + (self.response_timeout if timeout is None else timeout)
+        while True:
+            readable = conn.poll(0.02)
+            if readable:
+                try:
+                    seq, status, payload = conn.recv()
+                except (EOFError, OSError):
+                    self._handle_failure(
+                        shard, f"worker died mid-reply (exitcode {slot.proc.exitcode})"
+                    )
+                    raise _WorkerFailure(shard)
+                if seq != expected_seq:
+                    # A reply from a round this parent already gave up on
+                    # (timeout, error, restart): discard instead of letting it
+                    # poison the stream.
+                    continue
+                if status != "ok":
+                    self._handle_failure(shard, f"worker error: {payload}")
+                    raise _WorkerFailure(shard)
+                return payload
+            if not slot.proc.is_alive() and not conn.poll(0):
+                self._handle_failure(
+                    shard, f"worker died (exitcode {slot.proc.exitcode})"
+                )
+                raise _WorkerFailure(shard)
+            if time.monotonic() > deadline:
+                self._handle_failure(
+                    shard, f"no reply within {self.response_timeout:.1f}s (worker hung)"
+                )
+                raise _WorkerFailure(shard)
+
+    def _request(self, shard: int, command: Tuple, timeout: Optional[float] = None):
+        return self._receive(shard, self._send(shard, command), timeout=timeout)
+
+    def _shard_unavailable(self, shard: int) -> RuntimeError:
+        slot = self._slots[shard]
+        detail = f" ({slot.last_error})" if slot.last_error else ""
+        if slot.state == _DEAD:
+            return RuntimeError(
+                f"shard worker {shard} exhausted its restart budget of "
+                f"{self.restart_budget}{detail}; rebuild (or close) the index, or serve "
+                "degraded with failure_policy='degrade'"
+            )
+        return RuntimeError(
+            f"shard worker {shard} is {slot.state}{detail}; a restart is in "
+            "progress — retry, wait_until_healthy(), or serve partial results "
+            "with failure_policy='degrade'"
+        )
 
     # ------------------------------------------------------------------ #
     # row preparation (the shared BruteForceIndex sequence, bit for bit)
@@ -288,7 +589,9 @@ class ProcessShardedIndex(ScatterGatherMixin):
 
         Rebuilding reuses running workers: fresh rows land in the (possibly
         regrown) segments and one ``attach`` round-trip per worker re-maps
-        them.  The first build spawns the workers.
+        them.  The first build spawns the workers, and a rebuild is also the
+        operator-level recovery path: down or tombstoned shards are respawned
+        with a reset restart budget.
         """
 
         self._require_open()
@@ -322,17 +625,45 @@ class ProcessShardedIndex(ScatterGatherMixin):
                 SharedMatrix(dim, self.dtype, self.initial_capacity)
                 for _ in range(self.num_shards)
             ]
-        self._ensure_workers()
+        if not self._slots:
+            self._slots = [_WorkerSlot() for _ in range(self.num_shards)]
+            for shard in range(self.num_shards):
+                self._spawn_process(shard)
+                self._slots[shard].state = _LIVE
+        else:
+            # A rebuild revives every unhealthy shard with a fresh budget.
+            for shard, slot in enumerate(self._slots):
+                if slot.state == _LIVE and slot.proc is not None and slot.proc.is_alive():
+                    continue
+                self._reap(slot)
+                slot.restarts = 0
+                slot.failures = 0
+                slot.pending_seq = None
+                slot.pending_meta = None
+                self._spawn_process(shard)
+                slot.state = _LIVE
         for shard in range(self.num_shards):
             matrix = self._matrices[shard]
             matrix.reset()
             matrix.append(normalized[shard :: self.num_shards], new_ids[shard :: self.num_shards])
         # One attach round-trip covers first builds, re-builds and any
         # capacity growth in one go; scatter first, then gather the acks.
+        sent: Dict[int, int] = {}
         for shard in range(self.num_shards):
-            self._send(shard, ("attach", self._matrices[shard].meta()))
-        for shard in range(self.num_shards):
-            self._receive(shard)
+            try:
+                sent[shard] = self._send(shard, ("attach", self._matrices[shard].meta()))
+            except _WorkerFailure:
+                if self.failure_policy == "raise":
+                    raise self._shard_unavailable(shard) from None
+        for shard, seq in sent.items():
+            try:
+                self._receive(shard, seq, timeout=self.spawn_timeout)
+            except _WorkerFailure:
+                if self.failure_policy == "raise":
+                    raise self._shard_unavailable(shard) from None
+                continue
+            slot = self._slots[shard]
+            slot.acked_meta = self._meta_names(shard)
             self._matrices[shard].release_retired()
         self.epoch += 1
         return self
@@ -348,9 +679,11 @@ class ProcessShardedIndex(ScatterGatherMixin):
     def update_batch(self, positions: Sequence[int], vectors: np.ndarray) -> None:
         """Overwrite rows in place — workers see the new bytes immediately.
 
-        Pure shared-memory writes: no worker round-trip at all.  Boolean
-        masking preserves arrival order, so duplicate-position semantics
-        (last write wins) match the other backends.
+        Pure shared-memory writes: no worker round-trip at all (down workers
+        therefore never miss an update — the bytes are simply there when they
+        re-attach).  Boolean masking preserves arrival order, so
+        duplicate-position semantics (last write wins) match the other
+        backends.
         """
 
         self._require_open()
@@ -381,8 +714,10 @@ class ProcessShardedIndex(ScatterGatherMixin):
 
         Appends are shared-memory writes too; only when a shard's segments
         double does its worker get an ``attach`` command (the outgrown
-        segments are unlinked after the ack).  Id uniqueness is validated
-        globally, as on the thread backend.
+        segments are unlinked after the ack).  A non-live shard skips that
+        round-trip: its respawn always attaches the then-current segments, so
+        growth and recovery compose.  Id uniqueness is validated globally, as
+        on the thread backend.
         """
 
         self._require_open()
@@ -404,14 +739,28 @@ class ProcessShardedIndex(ScatterGatherMixin):
         check_new_ids(self._ids, new_ids)
         normalized = self._prepare_rows(vectors)
         positions = np.arange(start, start + len(vectors), dtype=np.int64)
+        self._supervise()
         for shard in range(self.num_shards):
             mask = self._shard_mask(positions, shard)
             if not mask.any():
                 continue
             grown = self._matrices[shard].append(normalized[mask], new_ids[mask])
-            if grown is not None:
+            if grown is None:
+                continue
+            slot = self._slots[shard]
+            if slot.state != _LIVE:
+                # The worker is being respawned (or is tombstoned): its
+                # re-attach targets the current segments, and the retired
+                # ones are released when it comes live.
+                continue
+            try:
                 self._request(shard, ("attach", grown))
-                self._matrices[shard].release_retired()
+            except _WorkerFailure:
+                if self.failure_policy == "raise":
+                    raise self._shard_unavailable(shard) from None
+                continue
+            slot.acked_meta = self._meta_names(shard)
+            self._matrices[shard].release_retired()
         self._ids = np.concatenate([self._ids, new_ids])
         self._id_order = None
         self.epoch += 1
@@ -425,12 +774,15 @@ class ProcessShardedIndex(ScatterGatherMixin):
         queries: np.ndarray,
         k: int,
         exclude_per_query: Optional[Sequence[Optional[np.ndarray]]] = None,
-    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    ) -> SearchResults:
         """Scatter the prepared query block to every live worker, gather, merge.
 
         The workers' matmul + top-k run concurrently on separate cores; the
         parent only pays query prep (once, not per shard), pickling, and the
-        final merge re-rank.
+        final merge re-rank.  Shards that are down (worker being respawned or
+        tombstoned) either fail the request (``failure_policy="raise"``) or
+        are skipped, with the merged result tagged
+        ``SearchResults.degraded=True`` and counted in ``degraded_requests``.
         """
 
         self._require_open()
@@ -449,15 +801,50 @@ class ProcessShardedIndex(ScatterGatherMixin):
                 for exclude in exclude_per_query
             ]
         )
-        live = [shard for shard in range(self.num_shards) if self._matrices[shard].size]
-        for shard in live:
-            self._send(
-                shard, ("search", queries, k, exclusions, self._matrices[shard].size)
+        self._supervise()
+        populated = [
+            shard for shard in range(self.num_shards) if self._matrices[shard].size
+        ]
+        if self.failure_policy == "raise":
+            for shard in populated:
+                if self._slots[shard].state != _LIVE:
+                    raise self._shard_unavailable(shard)
+        sent: Dict[int, int] = {}
+        for shard in populated:
+            if self._slots[shard].state != _LIVE:
+                continue
+            try:
+                sent[shard] = self._send(
+                    shard, ("search", queries, k, exclusions, self._matrices[shard].size)
+                )
+            except _WorkerFailure:
+                if self.failure_policy == "raise":
+                    raise self._shard_unavailable(shard) from None
+        partials = []
+        for shard, seq in sent.items():
+            try:
+                partials.append(self._receive(shard, seq))
+            except _WorkerFailure:
+                if self.failure_policy == "raise":
+                    raise self._shard_unavailable(shard) from None
+        degraded = len(partials) < len(populated)
+        if degraded:
+            self.degraded_requests += 1
+        if not partials:
+            empty = (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=self.dtype),
             )
-        partials = [self._receive(shard) for shard in live]
+            return SearchResults(
+                [(empty[0].copy(), empty[1].copy()) for _ in range(len(queries))],
+                degraded=True,
+            )
         if len(partials) == 1:
-            return partials[0]
-        return [self._merge_row(partials, row, k) for row in range(len(queries))]
+            return SearchResults(partials[0], degraded=degraded)
+        return SearchResults(
+            [self._merge_row(partials, row, k) for row in range(len(queries))],
+            degraded=degraded,
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -467,30 +854,40 @@ class ProcessShardedIndex(ScatterGatherMixin):
 
         Idempotent but terminal: unlike the thread backend there is nothing
         lazy to recreate — a closed index raises on every subsequent call.
-        Dead workers are skipped gracefully; stragglers are terminated after
-        a grace period so close can never hang.
+        Dead workers are skipped gracefully; stragglers are terminated and,
+        if even SIGTERM cannot unwedge them, killed outright — a worker can
+        never outlive the parent or keep a segment pinned.
         """
 
-        procs, self._procs = self._procs, []
-        conns, self._conns = self._conns, []
+        slots, self._slots = self._slots, []
         matrices, self._matrices = self._matrices, []
-        for conn in conns:
+        for slot in slots:
+            if slot.conn is None:
+                continue
             try:
-                conn.send(("stop", None))
+                slot.conn.send((self._next_seq(), "stop"))
             except (BrokenPipeError, OSError):
                 pass  # already dead — nothing to stop
-        for proc in procs:
+        for slot in slots:
+            proc = slot.proc
+            if proc is None:
+                continue
             proc.join(timeout=5.0)
             if proc.is_alive():  # pragma: no cover — stuck worker safety net
                 proc.terminate()
+                proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover — SIGTERM ignored: escalate
+                proc.kill()
                 proc.join(timeout=5.0)
             try:
                 proc.close()
             except Exception:  # pragma: no cover
                 pass
-        for conn in conns:
+        for slot in slots:
+            if slot.conn is None:
+                continue
             try:
-                conn.close()
+                slot.conn.close()
             except OSError:  # pragma: no cover
                 pass
         for matrix in matrices:

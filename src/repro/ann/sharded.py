@@ -37,7 +37,25 @@ import numpy as np
 
 from .brute_force import BruteForceIndex, check_new_ids
 
-__all__ = ["ScatterGatherMixin", "ShardedIndex"]
+__all__ = ["ScatterGatherMixin", "SearchResults", "ShardedIndex"]
+
+
+class SearchResults(list):
+    """A ``search_batch`` return value that knows whether it is complete.
+
+    Behaves exactly like the plain ``List[Tuple[ids, scores]]`` the other
+    backends return (so existing callers index and iterate it unchanged),
+    plus a ``degraded`` flag: ``True`` when one or more populated shards
+    could not answer and the rows were merged from the survivors only.
+    Serving caches check the flag (via the owning index's
+    ``degraded_requests`` counter) to avoid memoizing partial answers.
+    """
+
+    __slots__ = ("degraded",)
+
+    def __init__(self, rows=(), degraded: bool = False) -> None:
+        super().__init__(rows)
+        self.degraded = degraded
 
 
 class ScatterGatherMixin:
@@ -161,6 +179,15 @@ class ShardedIndex(ScatterGatherMixin):
         Worker threads for the per-shard fan-out.  ``None`` or ``1`` searches
         shards serially; larger values share a lazily created
         ``ThreadPoolExecutor`` (capped at ``num_shards``).
+    failure_policy:
+        ``"raise"`` (default) propagates a shard backend's search exception
+        unchanged.  ``"degrade"`` answers from the surviving shards instead:
+        the failing shard's partial results are dropped, the request is
+        counted in ``degraded_requests``, and the merged
+        :class:`SearchResults` is tagged ``degraded=True``.  In-process
+        shards fail far less often than worker processes, but a custom
+        ``shard_factory`` backend can still throw (e.g. a remote shard), and
+        the serving stack treats both backends uniformly.
     """
 
     def __init__(
@@ -168,13 +195,20 @@ class ShardedIndex(ScatterGatherMixin):
         num_shards: int = 4,
         shard_factory: Optional[Callable[[], object]] = None,
         num_threads: Optional[int] = None,
+        failure_policy: str = "raise",
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
         if num_threads is not None and num_threads <= 0:
             raise ValueError("num_threads must be positive")
+        if failure_policy not in ("raise", "degrade"):
+            raise ValueError("failure_policy must be 'raise' or 'degrade'")
         self.num_shards = num_shards
         self.num_threads = num_threads
+        self.failure_policy = failure_policy
+        #: searches answered from a strict subset of the populated shards
+        #: (only ever bumped under ``failure_policy="degrade"``).
+        self.degraded_requests = 0
         #: monotonically increasing mutation counter: bumped by every build /
         #: add / update / update_batch / retrain, so serving caches can
         #: validate stored search results in O(1) (see :mod:`repro.core.cache`).
@@ -325,17 +359,48 @@ class ShardedIndex(ScatterGatherMixin):
             raise ValueError("exclude_per_query must have one entry per query")
 
         live = [shard for shard in self._shards if getattr(shard, "size", 0)]
-        if len(live) == 1:
+        if len(live) == 1 and self.failure_policy == "raise":
             return live[0].search_batch(queries, k, exclude_per_query=exclude_per_query)
 
         def scatter(backend):
             return backend.search_batch(queries, k, exclude_per_query=exclude_per_query)
 
         if self.num_threads is not None and self.num_threads > 1 and len(live) > 1:
-            partials = list(self._get_executor().map(scatter, live))
+            futures = [self._get_executor().submit(scatter, backend) for backend in live]
+            outcomes = []
+            for future in futures:
+                try:
+                    outcomes.append(future.result())
+                except Exception:
+                    if self.failure_policy == "raise":
+                        raise
+                    outcomes.append(None)
         else:
-            partials = [scatter(backend) for backend in live]
-        return [self._merge_row(partials, row, k) for row in range(len(queries))]
+            outcomes = []
+            for backend in live:
+                try:
+                    outcomes.append(scatter(backend))
+                except Exception:
+                    if self.failure_policy == "raise":
+                        raise
+                    outcomes.append(None)
+        partials = [outcome for outcome in outcomes if outcome is not None]
+        degraded = len(partials) < len(live)
+        if degraded:
+            self.degraded_requests += 1
+        if not partials:
+            empty_ids = np.empty(0, dtype=np.int64)
+            empty_scores = np.empty(0, dtype=np.float64)
+            return SearchResults(
+                [(empty_ids.copy(), empty_scores.copy()) for _ in range(len(queries))],
+                degraded=True,
+            )
+        if len(partials) == 1:
+            return SearchResults(partials[0], degraded=degraded)
+        return SearchResults(
+            [self._merge_row(partials, row, k) for row in range(len(queries))],
+            degraded=degraded,
+        )
 
     # ------------------------------------------------------------------ #
     # maintenance fan-out

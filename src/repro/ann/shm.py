@@ -107,6 +107,19 @@ class SharedMatrix:
         self._map_views(self.capacity)
         return self
 
+    @property
+    def segment_names(self) -> Tuple[str, str]:
+        """The current ``(vectors, ids)`` segment names.
+
+        A cheap identity for the store's current *generation*: growth swaps
+        both names, so supervisors comparing the names they sent in an
+        ``attach`` against the current ones can tell whether a re-attach is
+        already stale (see
+        :class:`~repro.ann.process_sharded.ProcessShardedIndex`).
+        """
+
+        return self._vec_shm.name, self._ids_shm.name
+
     def meta(self) -> Dict[str, object]:
         """Everything an attacher needs to map the current segments."""
 

@@ -4,6 +4,7 @@ from .cache import CacheStats, LayerStats, LRUCache, ServingCache
 from .merger import CandidateFeatures, IntegratingMLP, normalize_scores
 from .realtime import (
     EventBuffer,
+    HealthReport,
     LatencyBreakdown,
     MaintenanceReport,
     MaintenanceScheduler,
@@ -20,6 +21,7 @@ __all__ = [
     "SCCF",
     "SCCFConfig",
     "RealTimeServer",
+    "HealthReport",
     "LatencyBreakdown",
     "MaintenanceReport",
     "MaintenanceScheduler",

@@ -278,6 +278,20 @@ class LRUCache:
         self.stats.hits += 1
         return value
 
+    def peek(self, key: Hashable) -> Any:
+        """Return the stored value for ``key`` ignoring token freshness.
+
+        The *stale-serve* escape hatch: when recomputation is impossible
+        (every shard worker down, a deadline blown), a possibly-outdated
+        answer beats an empty one.  No recency bump and no stats churn — a
+        peek is not a lookup, and serving stale is the caller's explicit,
+        counted decision (see ``RealTimeServer.recommend``'s fallback chain),
+        never something the cache does silently.
+        """
+
+        entry = self._entries.get(key)
+        return MISS if entry is None else entry[1]
+
     def put(self, key: Hashable, token: Hashable, value: Any) -> None:
         """Store ``value`` under ``key``/``token``, evicting LRU entries while
         either bound (entry count, byte budget) is exceeded."""
@@ -422,7 +436,7 @@ class ServingCache:
         return sum(len(layer) for layer in self.layers)
 
 
-def serve_batch(layer, keys, tokens, compute) -> List[Any]:
+def serve_batch(layer, keys, tokens, compute, cacheable=None) -> List[Any]:
     """Batched cache-through: probe ``layer`` per key, recompute misses in one call.
 
     The one scaffold every cached layer shares — probe, collect the missing
@@ -431,8 +445,12 @@ def serve_batch(layer, keys, tokens, compute) -> List[Any]:
     ``compute(missing_positions)`` returns one fresh value per missing
     position (values are stored by reference: pass private copies for
     mutable values).  ``layer=None`` (cache disabled, or the index exposes
-    no epoch) computes everything and stores nothing.  Returns the values
-    aligned with ``keys``.
+    no epoch) computes everything and stores nothing.  ``cacheable`` is an
+    optional zero-argument predicate consulted *after* ``compute``: when it
+    returns False the fresh values are served but **not stored** — the hook
+    degraded serving uses to keep partial answers out of the cache (callers
+    snapshot their index's ``degraded_requests`` counter before the call and
+    compare after).  Returns the values aligned with ``keys``.
     """
 
     values: List[Any] = [MISS] * len(keys)
@@ -442,9 +460,10 @@ def serve_batch(layer, keys, tokens, compute) -> List[Any]:
     missing = [position for position, value in enumerate(values) if value is MISS]
     if missing:
         fresh = compute(missing)
+        store = layer is not None and (cacheable is None or cacheable())
         for position, value in zip(missing, fresh):
             values[position] = value
-            if layer is not None:
+            if store:
                 layer.put(keys[position], tokens[position], value)
     return values
 

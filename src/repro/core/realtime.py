@@ -34,6 +34,7 @@ user becomes retrievable as other users' neighbor after her first click.
 from __future__ import annotations
 
 import itertools
+import numbers
 import time
 from collections import Counter, deque
 from dataclasses import dataclass, field
@@ -48,12 +49,72 @@ from .cache import MISS
 from .sccf import SCCF, _NEG_INF
 
 __all__ = [
+    "HealthReport",
     "LatencyBreakdown",
     "MaintenanceReport",
     "MaintenanceScheduler",
     "RealTimeServer",
     "EventBuffer",
 ]
+
+
+def _as_id(value, name: str) -> int:
+    """Coerce a request-supplied id to ``int``, rejecting junk with a clear error.
+
+    Request ids arrive from outside the process (JSON payloads, CSV streams),
+    where ``float("nan")``, ``7.5`` or ``"7"`` are one sloppy producer away.
+    A bare ``int(value)`` silently truncates 7.5 to 7 and raises a cryptic
+    ``cannot convert float NaN to integer`` deep in numpy for NaN — so ids
+    are vetted here, at the request boundary: true integers (including numpy
+    integer scalars) pass through, integral-valued floats are accepted
+    (``7.0`` → 7), and everything else — NaN, infinities, fractional floats,
+    strings, None — fails with a ``ValueError`` naming the offending field.
+    """
+
+    if isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"{name} must be an integer, got {value!r}")
+        if not value.is_integer():
+            raise ValueError(f"{name} must be an integer, got non-integral {value!r}")
+        return int(value)
+    raise ValueError(f"{name} must be an integer, got {type(value).__name__} {value!r}")
+
+
+@dataclass
+class HealthReport:
+    """One self-contained liveness snapshot of a serving stack.
+
+    Produced by :meth:`RealTimeServer.health` — the signal a load balancer
+    or orchestrator polls.  ``healthy`` is the headline bit: True when every
+    shard worker is live (always True for unsharded/thread-backed stacks,
+    which have no workers to lose) *and* no shard has been tombstoned.  The
+    counters are lifetime totals; poll twice and difference them for rates.
+    """
+
+    healthy: bool
+    #: per-shard liveness detail (empty for indexes without workers)
+    shards: List[object] = field(default_factory=list)
+    workers_alive: int = 0
+    restarts_total: int = 0
+    #: index-level: searches answered from a strict subset of shards
+    degraded_requests: int = 0
+    #: server-level: recommends whose scoring ran degraded (not cached)
+    served_degraded: int = 0
+    #: recommends answered from a stale cache entry after scoring failed
+    served_stale: int = 0
+    #: recommends whose scoring raised (answered stale or empty instead)
+    recommend_failures: int = 0
+    #: recommends that finished after their deadline
+    deadline_misses: int = 0
+    maintenance_passes: int = 0
+    maintenance_failures: int = 0
+    #: serving-cache counters (None when no cache is attached)
+    cache: Optional[object] = None
 
 
 @dataclass
@@ -125,6 +186,12 @@ class RealTimeServer:
         whose user ids are remembered for head-user statistics — the
         population :meth:`prefill_cache` draws the "most-frequent recent
         users" from.  Bounded like the latency windows.
+    default_deadline_ms:
+        Per-request serving deadline applied to every :meth:`recommend` that
+        does not pass its own ``deadline_ms``.  A finished-but-late request
+        is still returned (the work is already done — discarding it helps
+        nobody) but counted in ``deadline_misses``, the signal an operator
+        alarms on.  ``None`` (default) disables deadline tracking.
     """
 
     #: distinguishes servers sharing one SCCF in the cache's request keys —
@@ -139,6 +206,7 @@ class RealTimeServer:
         latency_window: int = 4096,
         maintenance_every: Optional[int] = None,
         activity_window: int = 4096,
+        default_deadline_ms: Optional[float] = None,
     ) -> None:
         if not getattr(sccf, "_fitted", False):
             raise ValueError("SCCF must be fitted before serving")
@@ -146,7 +214,19 @@ class RealTimeServer:
             raise ValueError("latency_window must be positive")
         if activity_window <= 0:
             raise ValueError("activity_window must be positive")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive")
         self.sccf = sccf
+        self.default_deadline_ms = default_deadline_ms
+        #: recommends whose scoring ran while the neighbor index was serving
+        #: degraded (answered from surviving shards; never cached)
+        self.served_degraded = 0
+        #: recommends answered from a stale cache entry after scoring failed
+        self.served_stale = 0
+        #: recommends whose scoring raised (fell back to stale-or-empty)
+        self.recommend_failures = 0
+        #: recommends that finished after their deadline
+        self.deadline_misses = 0
         self.num_items = dataset.num_items
         self._serial = next(RealTimeServer._serials)
         self._states: Dict[int, _UserState] = {}
@@ -210,7 +290,7 @@ class RealTimeServer:
         max_user_id = self.sccf.neighborhood.num_users + self.sccf.neighborhood.max_user_growth
         validated: List[Tuple[int, int]] = []
         for user_id, item_id in events:
-            user_id, item_id = int(user_id), int(item_id)
+            user_id, item_id = _as_id(user_id, "user_id"), _as_id(item_id, "item_id")
             if user_id < 0:
                 raise ValueError("user_id must be non-negative")
             if user_id >= max_user_id:
@@ -368,7 +448,13 @@ class RealTimeServer:
     # ------------------------------------------------------------------ #
     # serving
     # ------------------------------------------------------------------ #
-    def recommend(self, user_id: int, k: int = 50, exclude_seen: bool = True) -> List[int]:
+    def recommend(
+        self,
+        user_id: int,
+        k: int = 50,
+        exclude_seen: bool = True,
+        deadline_ms: Optional[float] = None,
+    ) -> List[int]:
         """Top-``k`` fused candidates for the user's *current* (streamed) history.
 
         Repeat requests are served from the cache's ``recommendations``
@@ -379,16 +465,39 @@ class RealTimeServer:
         ``maintain`` retrain invalidates it, so a hit is always bit-identical
         to recomputing.  Latency is recorded in the ``recommend_latencies``
         window (never mixed into the ingestion breakdowns).
+
+        The request degrades instead of failing.  The fallback chain:
+
+        1. **Full scoring** through the process/thread shard fan-out.  Under
+           ``failure_policy="degrade"`` a shard outage answers from the
+           surviving shards — the list is served but *not cached* (counted in
+           ``served_degraded``).
+        2. **Stale cache entry** — when scoring itself raises (every shard
+           down, policy ``"raise"`` mid-outage, a backend bug), the last
+           cached list for this exact request is served ignoring its
+           freshness token (``served_stale``; ``recommend_failures`` counts
+           the underlying error either way).
+        3. **Empty list** — nothing cached either: the caller gets ``[]``,
+           never the exception.
+
+        ``deadline_ms`` (default: the server's ``default_deadline_ms``)
+        bounds what this request *should* have taken; a late finish is still
+        returned but counted in ``deadline_misses``.
         """
 
         if k <= 0:
             return []
         start = time.perf_counter()
-        user_id = int(user_id)
+        user_id = _as_id(user_id, "user_id")
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        elif deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
         self._recent_active.append(user_id)
         cache = self.sccf.cache
         epoch = getattr(self.sccf.neighborhood.index, "epoch", None)
         token = key = None
+        stale = MISS
         if cache is not None and epoch is not None:
             # The key carries everything non-monotonic the list depends on:
             # the server serial (two servers sharing one SCCF hold different
@@ -397,12 +506,31 @@ class RealTimeServer:
             # any counter).  The token holds only monotonic counters.
             token = self.sccf._serving_token(user_id, epoch)
             key = (self._serial, user_id, k, exclude_seen, self.sccf.mode)
+            # Peek before get: a token-stale entry is *deleted* by the
+            # validated lookup, but it is exactly what the stale-serve
+            # fallback wants to hold on to should scoring fail below.
+            stale = cache.recommendations.peek(key)
             value = cache.recommendations.get(key, token)
             if value is not MISS:
-                self.recommend_latencies.append((time.perf_counter() - start) * 1000.0)
+                self._finish_recommend(start, deadline_ms)
                 return list(value)
         state = self._states.get(user_id, _UserState())
-        scores = self.sccf.score_items(user_id, history=state.history)
+        index = self.sccf.neighborhood.index
+        degraded_before = getattr(index, "degraded_requests", 0)
+        try:
+            scores = self.sccf.score_items(user_id, history=state.history)
+        except RuntimeError:
+            # Scoring is a pure read — the failure is the index's (all
+            # shards down, raise-policy outage), already recorded in its
+            # supervision state; answer stale-or-empty rather than letting a
+            # read take the caller down with the worker.
+            self.recommend_failures += 1
+            self._finish_recommend(start, deadline_ms)
+            if stale is not MISS:
+                self.served_stale += 1
+                return list(stale)
+            return []
+        degraded = getattr(index, "degraded_requests", 0) != degraded_before
         # In "sccf" mode non-candidates carry the finite _NEG_INF sentinel;
         # mask them to -inf so they can never pad the result list.
         scores = np.where(scores > _NEG_INF, scores, -np.inf)
@@ -412,10 +540,51 @@ class RealTimeServer:
         top = np.argpartition(-scores, kth=top_k - 1)[:top_k]
         ordered = top[np.argsort(-scores[top], kind="stable")]
         result = [int(item) for item in ordered if np.isfinite(scores[item])]
-        if key is not None:
+        if degraded:
+            # A survivors-only list is fine to serve once but must not be
+            # memoized: the token counters don't move when the shard heals.
+            self.served_degraded += 1
+        elif key is not None:
             cache.recommendations.put(key, token, tuple(result))
-        self.recommend_latencies.append((time.perf_counter() - start) * 1000.0)
+        self._finish_recommend(start, deadline_ms)
         return result
+
+    def _finish_recommend(self, start: float, deadline_ms: Optional[float]) -> None:
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.recommend_latencies.append(elapsed_ms)
+        if deadline_ms is not None and elapsed_ms > deadline_ms:
+            self.deadline_misses += 1
+
+    def health(self) -> HealthReport:
+        """Assemble the :class:`HealthReport` an orchestrator polls.
+
+        Pure observation plus one supervision pass on the process backend
+        (reading shard health drives pending restarts forward, so polling
+        health actively helps a wounded pool heal — deliberate: the poller
+        is exactly the component that exists during quiet periods).
+        """
+
+        index = self.sccf.neighborhood.index
+        shards = index.shard_health() if hasattr(index, "shard_health") else []
+        healthy = bool(getattr(index, "healthy", True))
+        stats = self.sccf.cache_stats()
+        scheduler = self.scheduler
+        return HealthReport(
+            healthy=healthy,
+            shards=shards,
+            workers_alive=getattr(index, "workers_alive", 0),
+            restarts_total=getattr(index, "restarts_total", 0),
+            degraded_requests=getattr(index, "degraded_requests", 0),
+            served_degraded=self.served_degraded,
+            served_stale=self.served_stale,
+            recommend_failures=self.recommend_failures,
+            deadline_misses=self.deadline_misses,
+            maintenance_passes=scheduler.passes_run if scheduler is not None else 0,
+            maintenance_failures=(
+                scheduler.maintenance_failures if scheduler is not None else 0
+            ),
+            cache=stats,
+        )
 
     def history(self, user_id: int) -> List[int]:
         return list(self._states.get(user_id, _UserState()).history)
@@ -518,6 +687,13 @@ class MaintenanceScheduler:
         self.events_since_maintenance = 0
         #: total number of maintenance passes triggered over the lifetime
         self.passes_run = 0
+        #: maintenance passes that raised (contained here, never propagated
+        #: into the observe call that happened to trip the trigger)
+        self.maintenance_failures = 0
+        #: consecutive failed passes — drives the exponential backoff
+        self.failure_streak = 0
+        #: string form of the most recent failure (None after a success)
+        self.last_failure: Optional[str] = None
         #: the most recent reports, in order — bounded like the server's
         #: latency windows (a long-running server triggers forever, so an
         #: unbounded list would be a memory leak)
@@ -529,15 +705,37 @@ class MaintenanceScheduler:
         Returns the :class:`MaintenanceReport` when a pass ran, else ``None``.
         The counter resets whether or not the pass retrained, so a balanced
         index is only *checked* every ``every_events`` events.
+
+        A pass that **raises** is contained here: ingestion triggered it only
+        incidentally, so the exception is recorded (``maintenance_failures``,
+        ``last_failure``) instead of propagating into ``observe_batch`` and
+        failing an unrelated write.  Repeated failures back off
+        exponentially — after F consecutive failures the next attempt waits
+        ``every_events * 2**min(F, 6)`` events — so a persistently broken
+        retrain (corrupt index state, an OOM-ing re-cluster) costs a bounded
+        slice of ingestion throughput rather than retrying at full cadence.
+        Direct :meth:`RealTimeServer.maintain` calls still raise; operators
+        asking explicitly deserve the traceback.
         """
 
         if num_events < 0:
             raise ValueError("num_events must be non-negative")
         self.events_since_maintenance += num_events
-        if self.events_since_maintenance < self.every_events:
+        required = self.every_events * (2 ** min(self.failure_streak, 6))
+        if self.events_since_maintenance < required:
             return None
         self.events_since_maintenance = 0
-        report = self.server.maintain(self.imbalance_threshold, prefill_users=self.prefill_users)
+        try:
+            report = self.server.maintain(
+                self.imbalance_threshold, prefill_users=self.prefill_users
+            )
+        except Exception as exc:
+            self.maintenance_failures += 1
+            self.failure_streak += 1
+            self.last_failure = f"{type(exc).__name__}: {exc}"
+            return None
+        self.failure_streak = 0
+        self.last_failure = None
         self.reports.append(report)
         self.passes_run += 1
         return report
@@ -567,7 +765,7 @@ class EventBuffer:
     def push(self, user_id: int, item_id: int) -> Optional[LatencyBreakdown]:
         """Buffer one event; returns the flush breakdown if this push flushed."""
 
-        user_id, item_id = int(user_id), int(item_id)
+        user_id, item_id = _as_id(user_id, "user_id"), _as_id(item_id, "item_id")
         if user_id < 0:
             raise ValueError("user_id must be non-negative")
         neighborhood = self.server.sccf.neighborhood

@@ -55,6 +55,11 @@ class SCCFConfig:
     :class:`~repro.core.cache.ServingCache` of that per-layer capacity, so
     repeat requests skip recomputing embeddings, neighbor lists and fused
     scores whose version/epoch counters are unchanged.
+    ``failure_policy`` governs what the sharded neighbor index does when a
+    shard cannot answer: ``"raise"`` propagates the failure, ``"degrade"``
+    serves from the surviving shards (partial answers are never cached — the
+    stack snapshots the index's ``degraded_requests`` counter around every
+    compute to keep them out of the serving cache).
     """
 
     num_neighbors: int = 100
@@ -66,6 +71,7 @@ class SCCFConfig:
     merger_batch_size: int = 256
     num_shards: int = 1
     shard_backend: str = "thread"
+    failure_policy: str = "raise"
     cache_capacity: int = 0
     seed: int = 0
 
@@ -80,6 +86,8 @@ class SCCFConfig:
             raise ValueError("num_shards must be positive")
         if self.shard_backend not in ("thread", "process"):
             raise ValueError("shard_backend must be 'thread' or 'process'")
+        if self.failure_policy not in ("raise", "degrade"):
+            raise ValueError("failure_policy must be 'raise' or 'degrade'")
         if self.cache_capacity < 0:
             raise ValueError("cache_capacity must be non-negative (0 disables the cache)")
 
@@ -109,6 +117,7 @@ class SCCF(Recommender):
             index=neighbor_index,
             num_shards=self.config.num_shards,
             shard_backend=self.config.shard_backend,
+            failure_policy=self.config.failure_policy,
         )
         if cache is None and self.config.cache_capacity > 0:
             cache = ServingCache(self.config.cache_capacity)
@@ -416,7 +425,15 @@ class SCCF(Recommender):
                 fresh.append(row)
             return fresh
 
-        rows = serve_batch(cache_layer, keys, tokens, compute)
+        # Rows computed while the neighbor index was serving degraded (some
+        # shard down) are valid to *serve* but must never be memoized: the
+        # token counters do not change when the shard comes back, so a cached
+        # partial row would outlive the outage.
+        degraded_before = getattr(self.neighborhood.index, "degraded_requests", 0)
+        cacheable = lambda: (
+            getattr(self.neighborhood.index, "degraded_requests", 0) == degraded_before
+        )
+        rows = serve_batch(cache_layer, keys, tokens, compute, cacheable=cacheable)
         # stack() copies, so cached rows stay private to the cache.
         return np.stack(rows) if rows else np.empty((0, self.num_items), dtype=np.float64)
 

@@ -92,6 +92,12 @@ class UserNeighborhoodComponent:
         the process backend owns its shard layout, so it cannot be combined
         with ``index_factory``.  Call :meth:`close` (or let the owning
         ``SCCF`` / ``RealTimeServer`` cascade it) to release the workers.
+    failure_policy:
+        Forwarded to the sharded backends (only consulted when
+        ``num_shards > 1``): ``"raise"`` propagates shard failures,
+        ``"degrade"`` serves neighborhoods from the surviving shards while
+        dead workers restart — degraded neighborhoods are never written to
+        the serving cache.
     max_user_growth:
         Upper bound on how many rows a single :meth:`add_users` call may
         append (streamed ids are dense, so growth is backed by a dense zero
@@ -108,6 +114,7 @@ class UserNeighborhoodComponent:
         index_factory: Optional[Callable[[], NeighborIndex]] = None,
         num_shards: int = 1,
         shard_backend: str = "thread",
+        failure_policy: str = "raise",
     ) -> None:
         if num_neighbors <= 0:
             raise ValueError("num_neighbors must be positive")
@@ -119,6 +126,8 @@ class UserNeighborhoodComponent:
             raise ValueError("num_shards must be positive")
         if shard_backend not in ("thread", "process"):
             raise ValueError("shard_backend must be 'thread' or 'process'")
+        if failure_policy not in ("raise", "degrade"):
+            raise ValueError("failure_policy must be 'raise' or 'degrade'")
         self.num_neighbors = num_neighbors
         self.recency_window = recency_window
         self.max_user_growth = max_user_growth
@@ -130,10 +139,15 @@ class UserNeighborhoodComponent:
                     "the process shard backend owns its shard layout; "
                     "index_factory cannot be combined with shard_backend='process'"
                 )
-            self.index = ProcessShardedIndex(num_shards=num_shards)
+            self.index = ProcessShardedIndex(
+                num_shards=num_shards, failure_policy=failure_policy
+            )
         elif num_shards > 1:
             self.index = ShardedIndex(
-                num_shards=num_shards, shard_factory=index_factory, num_threads=num_shards
+                num_shards=num_shards,
+                shard_factory=index_factory,
+                num_threads=num_shards,
+                failure_policy=failure_policy,
             )
         elif index_factory is not None:
             self.index = index_factory()
@@ -424,7 +438,15 @@ class UserNeighborhoodComponent:
                 self.index, user_embeddings[rows], self.num_neighbors, exclude_per_query=exclusions
             )
 
-        return serve_batch(cache_layer, keys, tokens, compute)
+        # Neighborhoods computed while the index was serving degraded (a
+        # shard down under failure_policy="degrade") must be served but not
+        # memoized: the epoch does not move when the shard heals, so a cached
+        # survivors-only neighborhood would outlive the outage.
+        degraded_before = getattr(self.index, "degraded_requests", 0)
+        cacheable = lambda: (
+            getattr(self.index, "degraded_requests", 0) == degraded_before
+        )
+        return serve_batch(cache_layer, keys, tokens, compute, cacheable=cacheable)
 
     # ------------------------------------------------------------------ #
     # real-time maintenance

@@ -164,6 +164,7 @@ def make_sccf(
     num_shards: int = 1,
     shard_backend: str = "thread",
     cache_capacity: int = 0,
+    failure_policy: str = "raise",
 ) -> SCCF:
     """Wrap a UI model in the SCCF framework with the scale's settings.
 
@@ -174,7 +175,9 @@ def make_sccf(
     persistent worker processes over shared memory; close the stack when
     done).  ``cache_capacity > 0`` attaches the versioned serving cache
     (:class:`~repro.core.cache.ServingCache`) so repeat-visitor requests are
-    served without recomputation.
+    served without recomputation.  ``failure_policy="degrade"`` keeps the
+    sharded backends serving from surviving shards through worker outages
+    instead of raising (degraded answers are never cached).
     """
 
     config = SCCFConfig(
@@ -184,6 +187,7 @@ def make_sccf(
         merger_epochs=scale.merger_epochs,
         num_shards=num_shards,
         shard_backend=shard_backend,
+        failure_policy=failure_policy,
         cache_capacity=cache_capacity,
         seed=scale.seed,
     )

@@ -1,0 +1,5 @@
+"""Test-support utilities shipped with the library (deterministic fault injection)."""
+
+from .faults import FaultInjector, InjectedFault
+
+__all__ = ["FaultInjector", "InjectedFault"]

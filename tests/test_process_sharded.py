@@ -16,12 +16,18 @@ Four concern groups:
    under the spawn start method so they stay coverage-safe), so the property
    tests share one pooled index per shard count and rebuild it per example —
    which doubles as a rebuild-reuses-workers regression test;
-4. lifecycle — ``close()`` leaves no worker processes, shared-memory
-   segments, or semaphores behind (asserted via ``active_children`` and
-   segment re-attach attempts), a killed worker surfaces as a clear
-   ``RuntimeError`` with a clean, hang-free shutdown, and the
-   ``RealTimeServer.close()`` cascade reaches the workers through
-   ``SCCF.close()`` / ``UserNeighborhoodComponent.close()``.
+4. lifecycle and supervision — ``close()`` leaves no worker processes,
+   shared-memory segments, or semaphores behind (asserted via
+   ``active_children`` and segment re-attach attempts), a killed worker is
+   noticed, restarted and re-attached by the supervisor (bit-identical
+   parity after recovery, including kills interleaved with add/update
+   sequences under hypothesis), repeated kill/restart cycles leak neither
+   processes nor segments, and the ``RealTimeServer.close()`` cascade
+   reaches the workers through ``SCCF.close()`` /
+   ``UserNeighborhoodComponent.close()``.
+
+The deeper chaos suite (degraded scatter-gather, health surface, pipe
+faults, maintenance containment) lives in ``tests/test_fault_tolerance.py``.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from repro.ann import (
 )
 from repro.ann.process_sharded import _execute
 from repro.core import SCCF, SCCFConfig, RealTimeServer, UserNeighborhoodComponent
+from repro.testing import FaultInjector
 
 
 def _assert_unlinked(meta):
@@ -57,6 +64,7 @@ def _assert_unlinked(meta):
 # pooled indexes for the spawn-heavy tests (workers reused across examples)
 # --------------------------------------------------------------------- #
 _POOL = {}
+_CHAOS_POOL = {}
 
 
 def _pooled_index(num_shards: int) -> ProcessShardedIndex:
@@ -67,12 +75,36 @@ def _pooled_index(num_shards: int) -> ProcessShardedIndex:
     return index
 
 
+def _chaos_index(num_shards: int) -> ProcessShardedIndex:
+    """Pooled degrade-policy index for the kill-heavy hypothesis examples.
+
+    The restart budget is effectively unlimited because restarts accumulate
+    on *healthy* shards across examples (``build()`` only resets the budget
+    of shards it has to revive), and the backoff is tiny so recovery never
+    dominates the example's wall-clock.
+    """
+
+    index = _CHAOS_POOL.get(num_shards)
+    if index is None:
+        index = ProcessShardedIndex(
+            num_shards=num_shards,
+            initial_capacity=8,
+            failure_policy="degrade",
+            restart_budget=1_000_000,
+            restart_backoff=0.01,
+            restart_backoff_cap=0.05,
+        )
+        _CHAOS_POOL[num_shards] = index
+    return index
+
+
 @pytest.fixture(scope="module", autouse=True)
 def _close_pool():
     yield
-    for index in _POOL.values():
-        index.close()
-    _POOL.clear()
+    for pool in (_POOL, _CHAOS_POOL):
+        for index in pool.values():
+            index.close()
+        pool.clear()
     assert multiprocessing.active_children() == []
 
 
@@ -395,6 +427,51 @@ def test_process_equals_thread_backend(n, d, seed):
             np.testing.assert_array_equal(thr_scores, proc_scores)
 
 
+@given(
+    num_shards=st.integers(2, 3),
+    seed=st.integers(0, 2**31 - 1),
+    ops=st.lists(st.sampled_from(["add", "update", "kill"]), min_size=1, max_size=3),
+)
+@settings(max_examples=6, deadline=None)
+def test_kill_mid_sequence_preserves_parity(num_shards, seed, ops):
+    """SIGKILLs interleaved with mutations never corrupt the index.
+
+    Adds and updates land in shared memory whether or not the owning
+    worker is alive (a down shard's re-attach is deferred to its restart),
+    so once the supervisor has healed every shard the results must be
+    bit-identical to a never-faulted ``BruteForceIndex`` over the same
+    operation sequence.
+    """
+
+    rng = np.random.default_rng(seed)
+    d = 4
+    vectors = rng.normal(size=(2 * num_shards + 4, d))
+    flat = BruteForceIndex().build(vectors)
+    sharded = _chaos_index(num_shards).build(vectors)
+    injector = FaultInjector(seed=seed)
+    for op in ops:
+        if op == "kill":
+            injector.kill_worker(sharded)
+        elif op == "add":
+            count = int(rng.integers(1, 6))
+            extra = rng.normal(size=(count, d))
+            flat.add(extra)
+            sharded.add(extra)
+        else:
+            count = int(rng.integers(1, 5))
+            positions = rng.integers(0, flat.size, size=count)
+            replacements = rng.normal(size=(count, d))
+            flat.update_batch(positions, replacements)
+            sharded.update_batch(positions, replacements)
+    assert sharded.wait_until_healthy(timeout=30.0)
+    queries = rng.normal(size=(3, d))
+    for (ids, scores), (flat_ids, flat_scores) in zip(
+        sharded.search_batch(queries, 5), flat.search_batch(queries, 5)
+    ):
+        np.testing.assert_array_equal(ids, flat_ids)
+        np.testing.assert_array_equal(scores, flat_scores)
+
+
 # --------------------------------------------------------------------- #
 # (4) lifecycle: no leaks, clean death, close cascade
 # --------------------------------------------------------------------- #
@@ -425,23 +502,66 @@ class TestLifecycle:
         for meta in metas:
             _assert_unlinked(meta)
 
-    def test_killed_worker_raises_then_closes_cleanly(self, rng):
-        index = ProcessShardedIndex(num_shards=2, initial_capacity=4)
-        index.build(rng.normal(size=(12, 3)))
+    def test_killed_worker_restarts_and_recovers_parity(self, rng):
+        vectors = rng.normal(size=(12, 3))
+        flat = BruteForceIndex().build(vectors)
+        index = ProcessShardedIndex(
+            num_shards=2, initial_capacity=4, restart_backoff=0.01
+        )
+        index.build(vectors)
         metas = [matrix.meta() for matrix in index._matrices]
         workers = list(index._procs)
-        index._procs[1].kill()
-        index._procs[1].join()
-        with pytest.raises(RuntimeError, match="died"):
+        workers[1].kill()
+        workers[1].join()
+        # Under the default "raise" policy the outage is loud but transient:
+        # the supervisor reaps the corpse and schedules a restart, and the
+        # error tells the caller a retry (or degrade) is available.
+        with pytest.raises(RuntimeError, match="died|down|restart"):
             index.search_batch(rng.normal(size=(2, 3)), 2)
-        # The failure poisons the index: the surviving worker's pipe may hold
-        # a reply for the failed round, so serving again could pair a new
-        # query with a stale answer — every call now refuses until close().
-        with pytest.raises(RuntimeError, match="failed state"):
-            index.search_batch(rng.normal(size=(2, 3)), 2)
-        with pytest.raises(RuntimeError, match="failed state"):
-            index.add(rng.normal(size=(1, 3)))
+        assert index.wait_until_healthy(timeout=30.0)
+        assert index.restarts_total == 1 and index.workers_alive == 2
+        # The respawned worker re-attached the same shared-memory shard:
+        # serving resumes bit-identical to the never-faulted baseline.
+        queries = rng.normal(size=(3, 3))
+        for (ids, scores), (flat_ids, flat_scores) in zip(
+            index.search_batch(queries, 4), flat.search_batch(queries, 4)
+        ):
+            np.testing.assert_array_equal(ids, flat_ids)
+            np.testing.assert_array_equal(scores, flat_scores)
         index.close()  # no hang, and everything is still reclaimed
+        assert not any(proc in multiprocessing.active_children() for proc in workers)
+        for meta in metas:
+            _assert_unlinked(meta)
+
+    def test_repeated_kill_restart_cycles_leak_nothing(self, rng):
+        index = ProcessShardedIndex(
+            num_shards=2,
+            initial_capacity=4,
+            failure_policy="degrade",
+            restart_backoff=0.01,
+        )
+        index.build(rng.normal(size=(10, 3)))
+        injector = FaultInjector(seed=5)
+        baseline_children = len(multiprocessing.active_children())
+        for _ in range(3):
+            assert injector.kill_worker(index) is not None
+            assert index.wait_until_healthy(timeout=30.0)
+            assert index.workers_alive == 2
+            # every restart reaps its corpse — no zombie accumulation
+            assert len(multiprocessing.active_children()) == baseline_children
+        # grow a shard while its worker is down: the outgrown segments must
+        # still be retired once the respawned worker acks the new mapping
+        old_metas = [matrix.meta() for matrix in index._matrices]
+        injector.kill_worker(index, shard=0)
+        index.add(rng.normal(size=(30, 3)))  # forces capacity doubling
+        assert index.wait_until_healthy(timeout=30.0)
+        for old, matrix in zip(old_metas, index._matrices):
+            if old["vectors"] != matrix.meta()["vectors"]:
+                _assert_unlinked(old)
+        assert injector.kills == 4
+        metas = [matrix.meta() for matrix in index._matrices]
+        workers = list(index._procs)
+        index.close()
         assert not any(proc in multiprocessing.active_children() for proc in workers)
         for meta in metas:
             _assert_unlinked(meta)
