@@ -1,0 +1,1 @@
+"""Developer tooling for the repo (not shipped with :mod:`repro`)."""

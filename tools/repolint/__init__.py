@@ -1,0 +1,41 @@
+"""repolint — AST-based invariant linter for the serving stack.
+
+The serving stack (PRs 1–6) rests on conventions that ordinary tests only
+probe pointwise: epoch bumps on every index mutation, shared-memory
+lifecycle discipline, batch-of-one wrappers, never caching degraded
+results, bounded telemetry windows, and a poll-guarded worker pipe
+protocol.  repolint encodes each as a named rule over the AST so every
+future diff is checked *before the code runs*:
+
+========  ===================  =====================================================
+code      name                 invariant
+========  ===================  =====================================================
+RL001     epoch-bump           index mutators bump ``self.epoch`` on non-raising paths
+RL002     shm-lifecycle        shared-memory acquisitions always reach ``close()``
+RL003     batch-of-one         single wrappers only delegate to their batch canonical
+RL004     degraded-not-cached  cache writes sit behind a cacheable/degraded guard
+RL005     unbounded-telemetry  telemetry accumulators are bounded windows
+RL006     worker-protocol      pipe ``recv`` is poll-guarded; no silent BaseException
+========  ===================  =====================================================
+
+Suppress with ``# repolint: disable=RL00X`` on (or directly above) the
+offending line, or on the enclosing ``def``/``class`` line for the whole
+body; ``# repolint: disable-file=RL00X`` silences a file.  Run as
+``python -m tools.repolint src/repro [--format=json|human] [--select=...]``.
+"""
+
+from __future__ import annotations
+
+from .engine import LintRun, Module, collect_files, lint_paths, lint_sources
+from .findings import RULES, Finding, Rule
+
+__all__ = [
+    "Finding",
+    "LintRun",
+    "Module",
+    "RULES",
+    "Rule",
+    "collect_files",
+    "lint_paths",
+    "lint_sources",
+]

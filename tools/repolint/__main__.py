@@ -1,0 +1,87 @@
+"""CLI for repolint: ``python -m tools.repolint <paths> [options]``.
+
+Exit codes: 0 — clean; 1 — findings; 2 — usage or parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .engine import lint_paths
+from .findings import RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repolint",
+        description="AST-based invariant linter for the serving stack",
+    )
+    parser.add_argument("paths", nargs="*", help="python files or directories")
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    # Importing rules populates the registry for --list-rules too.
+    from . import rules  # noqa: F401
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            print(f"{code}  {rule.name:20s} {rule.description}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repolint: error: no paths given", file=sys.stderr)
+        return 2
+
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+
+    try:
+        findings = lint_paths(args.paths, select)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"repolint: error: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"repolint: parse error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(
+            f"repolint: {len(findings)} finding(s)"
+            if findings
+            else "repolint: clean"
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

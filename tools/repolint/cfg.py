@@ -1,0 +1,223 @@
+"""CFG-lite path analysis: "does every non-raising path do X before exiting?".
+
+This is not a full control-flow graph.  It is a structural walk over the
+statement tree that tracks, per reachable path, two monotone flags —
+``bumped`` (the required action happened) and ``mutated`` (state was written)
+— and classifies how each path leaves the function (``return``, fall-through,
+``raise``, ``break``/``continue``).  Monotone flags make joins trivial (set
+union of flag pairs) and keep the analysis linear in the statement count,
+which is all a repo-local linter needs: the question RL001 asks is "is there
+a clean exit that mutated the index but never bumped ``self.epoch``?", and
+over-approximating the reachable paths only ever errs toward reporting.
+
+Loops are handled as "zero or one abstract iteration": flags set anywhere in
+a loop body *may* hold after the loop, and ``break``/``continue`` are
+consumed by the innermost loop.  ``try`` blocks treat handlers as entered
+from the *entry* state of the ``try`` (the conservative choice — a bump
+inside the try may not have happened when the handler runs), and a
+``finally`` suite's effects apply to every path that traverses it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Sequence, Set, Tuple
+
+#: (bumped, mutated)
+State = Tuple[bool, bool]
+
+Predicate = Callable[[ast.stmt], bool]
+
+
+@dataclass(frozen=True)
+class PathExit:
+    """One way control can leave the analysed block."""
+
+    kind: str  # "return" | "fall" | "raise" | "break" | "continue"
+    bumped: bool
+    mutated: bool
+    line: int
+
+
+@dataclass(frozen=True)
+class _BlockResult:
+    exits: FrozenSet[PathExit]
+    through: FrozenSet[State]  # states that fall off the end of the block
+
+
+def _merge(*results: _BlockResult) -> _BlockResult:
+    exits: Set[PathExit] = set()
+    through: Set[State] = set()
+    for result in results:
+        exits |= result.exits
+        through |= result.through
+    return _BlockResult(frozenset(exits), frozenset(through))
+
+
+class PathAnalyzer:
+    """Analyse one function body with caller-supplied effect predicates."""
+
+    def __init__(self, bumps: Predicate, mutates: Predicate) -> None:
+        self._bumps = bumps
+        self._mutates = mutates
+
+    # ------------------------------------------------------------------ #
+    def analyze(self, body: Sequence[ast.stmt]) -> List[PathExit]:
+        result = self._block(body, {(False, False)})
+        exits = set(result.exits)
+        last_line = body[-1].lineno if body else 0
+        for bumped, mutated in result.through:
+            exits.add(PathExit("fall", bumped, mutated, last_line))
+        return sorted(exits, key=lambda e: (e.line, e.kind))
+
+    # ------------------------------------------------------------------ #
+    def _block(self, body: Sequence[ast.stmt], entry: Set[State]) -> _BlockResult:
+        exits: Set[PathExit] = set()
+        through: Set[State] = set(entry)
+        for stmt in body:
+            if not through:  # every path already exited
+                break
+            step = self._statement(stmt, through)
+            exits |= step.exits
+            through = set(step.through)
+        return _BlockResult(frozenset(exits), frozenset(through))
+
+    def _statement(self, stmt: ast.stmt, entry: Set[State]) -> _BlockResult:
+        if isinstance(stmt, ast.Return):
+            states = self._apply_leaf(stmt, entry)
+            return _BlockResult(
+                frozenset(
+                    PathExit("return", b, m, stmt.lineno) for b, m in states
+                ),
+                frozenset(),
+            )
+        if isinstance(stmt, ast.Raise):
+            return _BlockResult(
+                frozenset(
+                    PathExit("raise", b, m, stmt.lineno) for b, m in entry
+                ),
+                frozenset(),
+            )
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            kind = "break" if isinstance(stmt, ast.Break) else "continue"
+            return _BlockResult(
+                frozenset(PathExit(kind, b, m, stmt.lineno) for b, m in entry),
+                frozenset(),
+            )
+        if isinstance(stmt, ast.If):
+            body = self._block(stmt.body, entry)
+            orelse = (
+                self._block(stmt.orelse, entry)
+                if stmt.orelse
+                else _BlockResult(frozenset(), frozenset(entry))
+            )
+            return _merge(body, orelse)
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            return self._loop(stmt, entry)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, entry)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._block(stmt.body, entry)
+        if isinstance(stmt, ast.Match):
+            results = [self._block(case.body, entry) for case in stmt.cases]
+            # no case may match — entry can fall through unchanged
+            results.append(_BlockResult(frozenset(), frozenset(entry)))
+            return _merge(*results)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return _BlockResult(frozenset(), frozenset(entry))  # defs don't execute
+        # leaf statement: apply effects
+        return _BlockResult(frozenset(), frozenset(self._apply_leaf(stmt, entry)))
+
+    # ------------------------------------------------------------------ #
+    def _loop(self, stmt: ast.stmt, entry: Set[State]) -> _BlockResult:
+        body: Sequence[ast.stmt] = stmt.body  # type: ignore[attr-defined]
+        orelse: Sequence[ast.stmt] = stmt.orelse  # type: ignore[attr-defined]
+        once = self._block(body, entry)
+        exits: Set[PathExit] = set()
+        after: Set[State] = set(entry)  # zero iterations
+        after |= set(once.through)  # one abstract iteration
+        for path_exit in once.exits:
+            if path_exit.kind in ("break", "continue"):
+                after.add((path_exit.bumped, path_exit.mutated))
+            else:
+                exits.add(path_exit)  # return/raise escape the loop
+        tail = self._block(orelse, after) if orelse else _BlockResult(
+            frozenset(), frozenset(after)
+        )
+        return _merge(_BlockResult(frozenset(exits), frozenset()), tail)
+
+    def _try(self, stmt: ast.Try, entry: Set[State]) -> _BlockResult:
+        body = self._block(stmt.body, entry)
+        pieces: List[_BlockResult] = []
+        if stmt.handlers:
+            # Keep raise-exits from the body only if nothing catches broadly;
+            # conservatively assume any handler may catch, so body raise-exits
+            # are replaced by handler outcomes entered from the *entry* state.
+            non_raise = frozenset(e for e in body.exits if e.kind != "raise")
+            pieces.append(_BlockResult(non_raise, body.through))
+            for handler in stmt.handlers:
+                pieces.append(self._block(handler.body, entry))
+        else:
+            pieces.append(body)
+        if stmt.orelse:
+            merged = _merge(*pieces)
+            orelse = self._block(stmt.orelse, merged.through)
+            pieces = [_BlockResult(merged.exits, frozenset()), orelse]
+        result = _merge(*pieces)
+        if stmt.finalbody:
+            # Effects in finally apply to every traversing path.
+            final = self._block(
+                stmt.finalbody,
+                set(result.through)
+                | {(e.bumped, e.mutated) for e in result.exits},
+            )
+            flags = set(final.through)
+            if flags:
+                bump_all = all(b for b, _ in flags) and bool(flags)
+                mut_all = all(m for _, m in flags) and bool(flags)
+                if bump_all or mut_all:
+                    exits = frozenset(
+                        PathExit(
+                            e.kind,
+                            e.bumped or bump_all,
+                            e.mutated or mut_all,
+                            e.line,
+                        )
+                        for e in result.exits
+                    )
+                    result = _BlockResult(exits, final.through)
+                else:
+                    result = _BlockResult(result.exits, final.through)
+            else:
+                result = _BlockResult(result.exits, final.through)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _apply_leaf(self, stmt: ast.stmt, entry: Set[State]) -> Set[State]:
+        bumps = self._bumps(stmt)
+        mutates = self._mutates(stmt)
+        if not bumps and not mutates:
+            return set(entry)
+        return {(b or bumps, m or mutates) for b, m in entry}
+
+
+def clean_unbumped_exits(
+    body: Sequence[ast.stmt],
+    bumps: Predicate,
+    mutates: Predicate,
+    require_mutation: bool = True,
+) -> List[PathExit]:
+    """Exits (return / fall-through) that mutated state without the bump."""
+
+    analyzer = PathAnalyzer(bumps, mutates)
+    offenders = []
+    for path_exit in analyzer.analyze(body):
+        if path_exit.kind not in ("return", "fall"):
+            continue
+        if path_exit.bumped:
+            continue
+        if require_mutation and not path_exit.mutated:
+            continue
+        offenders.append(path_exit)
+    return offenders

@@ -1,0 +1,81 @@
+"""Finding and rule-registry primitives shared by the repolint engine and rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, typing only
+    from .engine import LintRun, Module
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a concrete source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    fixit: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "fixit": self.fixit,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}\n"
+            f"    fix: {self.fixit}"
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named, suppressible invariant check."""
+
+    code: str
+    name: str
+    description: str
+    check: Callable[["Module", "LintRun"], Iterable[Finding]]
+
+
+#: Registry of every known rule, keyed by code (``RL001``...).
+RULES: Dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, description: str) -> Callable[
+    [Callable[["Module", "LintRun"], Iterable[Finding]]],
+    Callable[["Module", "LintRun"], Iterable[Finding]],
+]:
+    """Class-less rule registration decorator.
+
+    The decorated callable receives a parsed :class:`Module` and the whole
+    :class:`LintRun` (for cross-module lookups) and yields raw findings; the
+    engine applies suppression filtering afterwards.
+    """
+
+    def register(
+        check: Callable[["Module", "LintRun"], Iterable[Finding]]
+    ) -> Callable[["Module", "LintRun"], Iterable[Finding]]:
+        if code in RULES:
+            raise ValueError(f"duplicate rule code {code}")
+        RULES[code] = Rule(code=code, name=name, description=description, check=check)
+        return check
+
+    return register
+
+
+def iter_rules(select: Iterable[str] | None = None) -> Iterator[Rule]:
+    codes: List[str] = sorted(RULES) if select is None else sorted(set(select))
+    for code in codes:
+        if code not in RULES:
+            raise KeyError(f"unknown rule code {code}")
+        yield RULES[code]

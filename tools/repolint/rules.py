@@ -1,0 +1,623 @@
+"""The six serving-stack invariant rules (RL001–RL006).
+
+Each rule encodes one convention the serving stack depends on for
+correctness; the module docstring of :mod:`tools.repolint` and the README's
+"Static analysis & invariants" section give the history.  Checks yield
+``(Finding, node)`` pairs — the node anchors suppression-comment lookup.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Set, Tuple
+
+from .cfg import clean_unbumped_exits
+from .engine import ClassInfo, LintRun, Module
+from .findings import Finding, rule
+
+Hit = Tuple[Finding, ast.AST]
+
+# ---------------------------------------------------------------------- #
+# shared AST helpers
+# ---------------------------------------------------------------------- #
+
+
+def _root_name(expr: ast.expr) -> Optional[str]:
+    """Base ``Name`` id of an attribute/subscript chain (``a.b[0].c`` -> ``a``)."""
+
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+def _is_self_attr(expr: ast.expr, attr: Optional[str] = None) -> bool:
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and (attr is None or expr.attr == attr)
+    )
+
+
+def _flat_targets(targets: List[ast.expr]) -> Iterator[ast.expr]:
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            yield from _flat_targets(list(target.elts))
+        elif isinstance(target, ast.Starred):
+            yield target.value
+        else:
+            yield target
+
+
+def _assign_targets(stmt: ast.stmt) -> List[ast.expr]:
+    if isinstance(stmt, ast.Assign):
+        return list(_flat_targets(stmt.targets))
+    if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        return [stmt.target]
+    return []
+
+
+def _enclosing_statement(module: Module, node: ast.AST) -> Optional[ast.stmt]:
+    current: Optional[ast.AST] = node
+    while current is not None and not isinstance(current, ast.stmt):
+        current = module.parents.get(current)
+    return current
+
+
+def _src(expr: ast.AST) -> str:
+    try:
+        return ast.unparse(expr)
+    except Exception:  # pragma: no cover — unparse covers all real nodes
+        return ""
+
+
+# ---------------------------------------------------------------------- #
+# RL001 — epoch-bump
+# ---------------------------------------------------------------------- #
+
+#: Methods on an index class that (directly or transitively) write rows.
+INDEX_MUTATORS = ("build", "add", "update", "update_batch", "retrain")
+
+#: Method names whose *call on a self attribute* counts as writing rows.
+_MUTATING_CALLS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "clear",
+    "reset",
+    "set_rows",
+    "fill",
+    "update",
+    "pop",
+}
+
+
+def _stmt_bumps_epoch(stmt: ast.stmt) -> bool:
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            if any(_is_self_attr(t, "epoch") for t in targets):
+                return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in INDEX_MUTATORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            ):
+                return True  # delegation to a method that itself must bump
+    return False
+
+
+def _stmt_mutates_index(stmt: ast.stmt) -> bool:
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in _flat_targets(list(targets)):
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    if _root_name(target) == "self" and not _is_self_attr(
+                        target, "epoch"
+                    ):
+                        return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_CALLS
+                and _root_name(func.value) == "self"
+            ):
+                return True
+    return False
+
+
+@rule(
+    "RL001",
+    "epoch-bump",
+    "index-mutating methods must bump self.epoch on every non-raising path",
+)
+def check_epoch_bump(module: Module, run: LintRun) -> Iterator[Hit]:
+    for infos in run.classes.by_name.values():
+        for info in infos:
+            if info.module is not module:
+                continue
+            if not run.classes.assigns_self_attr(info, "epoch"):
+                continue  # not an index class
+            for method_name in INDEX_MUTATORS:
+                method = info.methods().get(method_name)
+                if method is None:
+                    continue
+                offenders = clean_unbumped_exits(
+                    method.body, _stmt_bumps_epoch, _stmt_mutates_index
+                )
+                for path_exit in offenders:
+                    yield (
+                        Finding(
+                            path=module.path,
+                            line=path_exit.line,
+                            col=method.col_offset,
+                            code="RL001",
+                            message=(
+                                f"{info.name}.{method_name} has a non-raising "
+                                "path that writes index state without bumping "
+                                "self.epoch"
+                            ),
+                            fixit=(
+                                "bump self.epoch before every clean exit (or "
+                                "delegate to a method that does); stale-epoch "
+                                "caches serve old rows forever"
+                            ),
+                        ),
+                        method,
+                    )
+
+
+# ---------------------------------------------------------------------- #
+# RL002 — shm-lifecycle
+# ---------------------------------------------------------------------- #
+
+_SHM_CONSTRUCTORS = {"SharedMemory", "SharedMatrix"}
+
+
+def _is_shm_acquisition(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in _SHM_CONSTRUCTORS:
+        return True
+    if isinstance(func, ast.Attribute):
+        if func.attr in _SHM_CONSTRUCTORS:  # shared_memory.SharedMemory(...)
+            return True
+        if func.attr == "attach" and isinstance(func.value, ast.Name):
+            return func.value.id in _SHM_CONSTRUCTORS  # SharedMatrix.attach(...)
+    return False
+
+
+def _released_in_finally(module: Module, stmt: ast.stmt, var: str) -> bool:
+    # The idiomatic shape is acquire-then-guard — the try/finally is usually a
+    # *sibling after* the assignment, not an ancestor — so search every
+    # try/finally in the enclosing scope for a close()/unlink() on the var.
+    scope: ast.AST = module.enclosing_function(stmt) or module.tree
+    for anc in ast.walk(scope):
+        if isinstance(anc, ast.Try) and anc.finalbody:
+            for final_stmt in anc.finalbody:
+                for node in ast.walk(final_stmt):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in ("close", "unlink")
+                        and _root_name(node.func.value) == var
+                    ):
+                        return True
+    return False
+
+
+@rule(
+    "RL002",
+    "shm-lifecycle",
+    "SharedMemory/SharedMatrix acquisitions must reach close()/unlink()",
+)
+def check_shm_lifecycle(module: Module, run: LintRun) -> Iterator[Hit]:
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call) and _is_shm_acquisition(node)):
+            continue
+        if any(isinstance(anc, ast.withitem) for anc in module.ancestors(node)):
+            continue  # context manager releases on exit
+        stmt = _enclosing_statement(module, node)
+        if stmt is None:
+            continue
+        if isinstance(stmt, ast.Return):
+            continue  # ownership transferred to the caller
+        ok = False
+        detail = "segment is acquired and never released"
+        targets = _assign_targets(stmt)
+        for target in targets:
+            if (
+                isinstance(target, (ast.Attribute, ast.Subscript))
+                and _root_name(target) == "self"
+            ):
+                cls = module.enclosing_class(stmt)
+                owner: Optional[ClassInfo] = None
+                if cls is not None:
+                    for info in run.classes.by_name.get(cls.name, []):
+                        if info.node is cls:
+                            owner = info
+                if owner is not None and run.classes.find_method(owner, "close"):
+                    ok = True
+                else:
+                    detail = (
+                        "segment is stored on self but the owning class "
+                        "defines no close()"
+                    )
+            elif isinstance(target, ast.Name):
+                if _released_in_finally(module, stmt, target.id):
+                    ok = True
+                else:
+                    detail = (
+                        f"local '{target.id}' holds the segment with no "
+                        "try/finally close()/unlink()"
+                    )
+        if not ok:
+            yield (
+                Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code="RL002",
+                    message=f"unreleased shared-memory acquisition: {detail}",
+                    fixit=(
+                        "wrap in try/finally or `with`, return it to transfer "
+                        "ownership, or store it on a class that close()s it"
+                    ),
+                ),
+                node,
+            )
+
+
+# ---------------------------------------------------------------------- #
+# RL003 — batch-of-one
+# ---------------------------------------------------------------------- #
+
+#: single-item wrapper -> its batch canonical
+BATCH_WRAPPERS = {
+    "search": "search_batch",
+    "observe": "observe_batch",
+    "update_user": "update_users",
+    "score_items": "score_items_batch",
+}
+
+_WRAPPER_FORBIDDEN = (ast.For, ast.AsyncFor, ast.While, ast.Try, ast.With)
+
+
+def _self_method_calls(func_node: ast.FunctionDef) -> Set[str]:
+    calls: Set[str] = set()
+    for node in ast.walk(func_node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            calls.add(node.func.attr)
+    return calls
+
+
+@rule(
+    "RL003",
+    "batch-of-one",
+    "single-item wrappers may only delegate to their batch canonical",
+)
+def check_batch_of_one(module: Module, run: LintRun) -> Iterator[Hit]:
+    for infos in run.classes.by_name.values():
+        for info in infos:
+            if info.module is not module:
+                continue
+            for wrapper_name, canonical in BATCH_WRAPPERS.items():
+                wrapper = info.methods().get(wrapper_name)
+                if wrapper is None:
+                    continue
+                calls = _self_method_calls(wrapper)
+                # The rule applies when the wrapper delegates, or when the
+                # class itself defines both halves of the pair.  The offline
+                # model zoo runs the *inverse* pattern — an abstract
+                # ``score_items`` with a default ``score_items_batch`` that
+                # loops over it — which is a fallback, not a wrapper, so a
+                # canonical that calls back into the single method exempts
+                # the pair.
+                direct_canonical = info.methods().get(canonical)
+                if canonical not in calls:
+                    if direct_canonical is None:
+                        continue  # not a batch-of-one pair on this class
+                    if wrapper_name in _self_method_calls(direct_canonical):
+                        continue  # batch derived from single (fallback dir.)
+                problems: List[str] = []
+                if canonical not in calls:
+                    problems.append(f"never calls self.{canonical}")
+                extra_calls = calls - {canonical}
+                if extra_calls:
+                    problems.append(
+                        "calls other self methods: "
+                        + ", ".join(sorted(extra_calls))
+                    )
+                for stmt in ast.walk(wrapper):
+                    if isinstance(stmt, _WRAPPER_FORBIDDEN):
+                        problems.append(
+                            f"contains a {type(stmt).__name__.lower()} block"
+                        )
+                        break
+                if problems:
+                    yield (
+                        Finding(
+                            path=module.path,
+                            line=wrapper.lineno,
+                            col=wrapper.col_offset,
+                            code="RL003",
+                            message=(
+                                f"{info.name}.{wrapper_name} is not a pure "
+                                f"batch-of-one wrapper ({'; '.join(problems)})"
+                            ),
+                            fixit=(
+                                f"reduce the body to delegation into "
+                                f"self.{canonical} so the single and batch "
+                                "paths cannot drift"
+                            ),
+                        ),
+                        wrapper,
+                    )
+
+
+# ---------------------------------------------------------------------- #
+# RL004 — degraded-not-cached
+# ---------------------------------------------------------------------- #
+
+_CACHE_RECEIVER_RE = re.compile(
+    r"cache|layer|recommendations|neighbors|scores|embeddings", re.I
+)
+_GUARD_RE = re.compile(r"degraded|cacheable", re.I)
+
+
+def _guard_mentions(
+    module: Module, func: Optional[ast.AST], test: ast.expr
+) -> bool:
+    if _GUARD_RE.search(_src(test)):
+        return True
+    if func is None:
+        return False
+    names = {n.id for n in ast.walk(test) if isinstance(n, ast.Name)}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in _flat_targets(list(node.targets)):
+                if isinstance(target, ast.Name) and target.id in names:
+                    if _GUARD_RE.search(_src(node.value)):
+                        return True
+    return False
+
+
+@rule(
+    "RL004",
+    "degraded-not-cached",
+    "cache writes must be dominated by a cacheable/degraded guard",
+)
+def check_degraded_not_cached(module: Module, run: LintRun) -> Iterator[Hit]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        # serve_batch(...) without an explicit cacheable= decision
+        callee = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if callee == "serve_batch":
+            if not any(kw.arg == "cacheable" for kw in node.keywords):
+                yield (
+                    Finding(
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        code="RL004",
+                        message=(
+                            "serve_batch call without cacheable=; degraded "
+                            "results would be cached"
+                        ),
+                        fixit=(
+                            "pass cacheable=<guard> capturing whether this "
+                            "batch may be degraded (PR 6 invariant)"
+                        ),
+                    ),
+                    node,
+                )
+            continue
+        # <cache layer>.put(...) outside a degraded/cacheable guard
+        if callee == "put" and isinstance(func, ast.Attribute):
+            receiver_src = _src(func.value)
+            if not _CACHE_RECEIVER_RE.search(receiver_src):
+                continue
+            enclosing = module.enclosing_function(node)
+            guarded = False
+            for anc in module.ancestors(node):
+                if isinstance(anc, ast.If) and _guard_mentions(
+                    module, enclosing, anc.test
+                ):
+                    guarded = True
+                    break
+            if not guarded:
+                yield (
+                    Finding(
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        code="RL004",
+                        message=(
+                            f"unguarded cache write {receiver_src}.put(...); "
+                            "a degraded result could be stored"
+                        ),
+                        fixit=(
+                            "dominate the put with an `if not degraded:` / "
+                            "cacheable check, or route it through "
+                            "serve_batch(cacheable=...)"
+                        ),
+                    ),
+                    node,
+                )
+
+
+# ---------------------------------------------------------------------- #
+# RL005 — unbounded-telemetry
+# ---------------------------------------------------------------------- #
+
+_TELEMETRY_RE = re.compile(r"latenc|timing|metric|telemetr|report|recent|sample", re.I)
+
+
+def _unbounded_accumulator(value: ast.expr) -> bool:
+    if isinstance(value, ast.List):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name == "list":
+            return True
+        if name == "deque":
+            bounded = len(value.args) >= 2 or any(
+                kw.arg == "maxlen" for kw in value.keywords
+            )
+            return not bounded
+    return False
+
+
+@rule(
+    "RL005",
+    "unbounded-telemetry",
+    "telemetry accumulators must be bounded (deque(maxlen=...))",
+)
+def check_unbounded_telemetry(module: Module, run: LintRun) -> Iterator[Hit]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        if node.value is None:
+            continue
+        for target in _assign_targets(node):
+            if not isinstance(target, ast.Attribute):
+                continue
+            if not _is_self_attr(target):
+                continue
+            if not _TELEMETRY_RE.search(target.attr):
+                continue
+            if _unbounded_accumulator(node.value):
+                yield (
+                    Finding(
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        code="RL005",
+                        message=(
+                            f"telemetry accumulator self.{target.attr} is "
+                            "unbounded; hot-path appends grow it forever"
+                        ),
+                        fixit=(
+                            "use collections.deque(maxlen=...) (or another "
+                            "windowed structure) so memory stays O(window)"
+                        ),
+                    ),
+                    node,
+                )
+
+
+# ---------------------------------------------------------------------- #
+# RL006 — worker-protocol
+# ---------------------------------------------------------------------- #
+
+
+def _names_base_exception(expr: Optional[ast.expr]) -> bool:
+    if expr is None:
+        return True  # bare except:
+    if isinstance(expr, ast.Name):
+        return expr.id == "BaseException"
+    if isinstance(expr, ast.Attribute):
+        return expr.attr == "BaseException"
+    if isinstance(expr, ast.Tuple):
+        return any(_names_base_exception(e) for e in expr.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            callee = _src(node.func)
+            if callee in ("os._exit", "sys.exit"):
+                return True
+    return False
+
+
+@rule(
+    "RL006",
+    "worker-protocol",
+    "pipe recv must be poll/timeout-guarded; except must not swallow BaseException",
+)
+def check_worker_protocol(module: Module, run: LintRun) -> Iterator[Hit]:
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "recv"
+        ):
+            enclosing = module.enclosing_function(node)
+            has_poll = enclosing is not None and any(
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "poll"
+                for sub in ast.walk(enclosing)
+            )
+            if not has_poll:
+                receiver = _src(node.func.value)
+                yield (
+                    Finding(
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        code="RL006",
+                        message=(
+                            f"{receiver}.recv() with no poll()/timeout in the "
+                            "same function; a dead worker blocks forever"
+                        ),
+                        fixit=(
+                            "guard the recv behind conn.poll(timeout) so the "
+                            "supervisor's deadline machinery stays in control"
+                        ),
+                    ),
+                    node,
+                )
+        if isinstance(node, ast.ExceptHandler) and _names_base_exception(node.type):
+            if not _reraises(node):
+                yield (
+                    Finding(
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        code="RL006",
+                        message=(
+                            "except clause swallows BaseException without "
+                            "re-raising; KeyboardInterrupt/SystemExit die here"
+                        ),
+                        fixit=(
+                            "catch Exception instead, or re-raise after "
+                            "recording the failure"
+                        ),
+                    ),
+                    node,
+                )
