@@ -62,7 +62,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -107,7 +107,7 @@ def _execute(matrix: Optional[SharedMatrix], command: Tuple) -> Tuple[Tuple, Opt
     return ("error", f"unknown command {op!r}"), matrix
 
 
-def _shard_worker_main(conn) -> None:  # pragma: no cover
+def _shard_worker_main(conn: Any) -> None:  # pragma: no cover
     """Worker loop (runs in spawned child processes — covered by _execute tests).
 
     Workers start bare; the parent's first ``attach`` command maps their
@@ -120,7 +120,10 @@ def _shard_worker_main(conn) -> None:  # pragma: no cover
     try:
         while True:
             try:
-                message = conn.recv()
+                # Blocking recv is the worker's *job*: it has nothing to do
+                # between commands, and the parent supervises it from the
+                # other end of the pipe (RL006 guards supervisor-side recvs).
+                message = conn.recv()  # repolint: disable=RL006
             except (EOFError, OSError):
                 break
             seq, command = message[0], message[1:]
@@ -511,7 +514,9 @@ class ProcessShardedIndex(ScatterGatherMixin):
             raise _WorkerFailure(shard)
         return seq
 
-    def _receive(self, shard: int, expected_seq: int, timeout: Optional[float] = None):
+    def _receive(
+        self, shard: int, expected_seq: int, timeout: Optional[float] = None
+    ) -> Any:
         slot = self._slots[shard]
         conn = slot.conn
         deadline = time.monotonic() + (self.response_timeout if timeout is None else timeout)
@@ -545,7 +550,9 @@ class ProcessShardedIndex(ScatterGatherMixin):
                 )
                 raise _WorkerFailure(shard)
 
-    def _request(self, shard: int, command: Tuple, timeout: Optional[float] = None):
+    def _request(
+        self, shard: int, command: Tuple, timeout: Optional[float] = None
+    ) -> Any:
         return self._receive(shard, self._send(shard, command), timeout=timeout)
 
     def _shard_unavailable(self, shard: int) -> RuntimeError:

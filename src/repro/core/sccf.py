@@ -354,7 +354,9 @@ class SCCF(Recommender):
 
         return (self.neighborhood.user_version(user_id), epoch, self.merger.generation)
 
-    def _batch_user_embeddings(self, user_ids: Sequence[int], resolved: Sequence[Sequence[int]]):
+    def _batch_user_embeddings(
+        self, user_ids: Sequence[int], resolved: Sequence[Sequence[int]]
+    ) -> np.ndarray:
         """Per-user embeddings with the cache's ``embeddings`` layer applied.
 
         An embedding is a pure function of the history (model weights only
@@ -379,7 +381,12 @@ class SCCF(Recommender):
             # memory for the life of each entry
             return [row.copy() for row in fresh]
 
-        rows = serve_batch(self.cache.embeddings, keys, [0] * len(keys), compute)
+        # No cacheable= guard on purpose: user embeddings derive only from the
+        # user's own history (no index scatter-gather is involved), so this
+        # layer can never observe a degraded result.
+        rows = serve_batch(  # repolint: disable=RL004
+            self.cache.embeddings, keys, [0] * len(keys), compute
+        )
         return np.stack(rows)
 
     def _fused_scores_batch(
@@ -477,7 +484,7 @@ class SCCF(Recommender):
     def __enter__(self) -> "SCCF":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: object, exc_value: object, traceback: object) -> None:
         self.close()
 
     @property

@@ -32,7 +32,7 @@ injectors with the same seed attack the same shards in the same order.
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -58,7 +58,7 @@ class _FlakyPipe:
     fresh, honest pipe.
     """
 
-    def __init__(self, conn) -> None:
+    def __init__(self, conn: Any) -> None:
         self._conn = conn
         self._drop_budget = 0
         self._delay_until = 0.0
@@ -84,10 +84,13 @@ class _FlakyPipe:
             self._drop_budget -= 1
         return self._conn.poll(timeout)
 
-    def recv(self):
-        return self._conn.recv()
+    def recv(self) -> Any:
+        # Pure pass-through mirroring the Connection surface: the supervisor
+        # only calls this after ITS poll() returned True, so the poll guard
+        # RL006 wants lives at the call site, not in this shim.
+        return self._conn.recv()  # repolint: disable=RL006
 
-    def send(self, obj) -> None:
+    def send(self, obj: object) -> None:
         self._conn.send(obj)
 
     def close(self) -> None:
@@ -126,14 +129,14 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
     # process faults
     # ------------------------------------------------------------------ #
-    def _live_shards(self, index) -> List[int]:
+    def _live_shards(self, index: Any) -> List[int]:
         return [
             shard
             for shard, slot in enumerate(index._slots)
             if slot.proc is not None and slot.proc.is_alive()
         ]
 
-    def kill_worker(self, index, shard: Optional[int] = None) -> Optional[int]:
+    def kill_worker(self, index: Any, shard: Optional[int] = None) -> Optional[int]:
         """SIGKILL one shard worker (seeded choice among the live ones).
 
         Returns the shard killed, or ``None`` when no worker is alive to
@@ -157,7 +160,7 @@ class FaultInjector:
         self.kill_log.append(shard)
         return shard
 
-    def tick(self, index) -> Optional[int]:
+    def tick(self, index: Any) -> Optional[int]:
         """Advance the fault schedule by one query; maybe kill a worker.
 
         Returns the shard killed on a killing tick, else ``None``.  With
@@ -172,7 +175,7 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
     # pipe faults
     # ------------------------------------------------------------------ #
-    def _flaky_pipe(self, index, shard: int) -> _FlakyPipe:
+    def _flaky_pipe(self, index: Any, shard: int) -> _FlakyPipe:
         slot = index._slots[shard]
         if slot.conn is None:
             raise RuntimeError(f"shard {shard} has no live pipe to tamper with")
@@ -180,7 +183,7 @@ class FaultInjector:
             slot.conn = _FlakyPipe(slot.conn)
         return slot.conn
 
-    def drop_replies(self, index, shard: int, count: int = 1) -> None:
+    def drop_replies(self, index: Any, shard: int, count: int = 1) -> None:
         """Silently discard the next ``count`` replies from ``shard``'s worker.
 
         The worker does its work; the parent never hears back — the
@@ -192,7 +195,7 @@ class FaultInjector:
             raise ValueError("count must be positive")
         self._flaky_pipe(index, shard).drop_next(count)
 
-    def delay_replies(self, index, shard: int, seconds: float) -> None:
+    def delay_replies(self, index: Any, shard: int, seconds: float) -> None:
         """Hold ``shard``'s replies back for ``seconds`` before delivery.
 
         A delay shorter than the index's ``response_timeout`` exercises slow
@@ -208,7 +211,7 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
     # maintenance faults
     # ------------------------------------------------------------------ #
-    def fail_maintenance(self, server, times: int = 1) -> None:
+    def fail_maintenance(self, server: Any, times: int = 1) -> None:
         """Make the server's next ``times`` ``maintain()`` calls raise.
 
         Patches the *instance*, so the :class:`MaintenanceScheduler` (which
@@ -222,7 +225,7 @@ class FaultInjector:
         original = server.maintain
         remaining = [times]
 
-        def failing_maintain(*args, **kwargs):
+        def failing_maintain(*args: Any, **kwargs: Any) -> Any:
             if remaining[0] > 0:
                 remaining[0] -= 1
                 if remaining[0] == 0:
