@@ -15,7 +15,9 @@ for convenience; see the subpackages for the full surface:
 * :mod:`repro.experiments` — per-table/figure experiment runners
 """
 
-from .core import EventBuffer, SCCF, SCCFConfig, RealTimeServer, UserNeighborhoodComponent
+from __future__ import annotations
+
+from .core import SCCF, EventBuffer, RealTimeServer, SCCFConfig, UserNeighborhoodComponent
 from .data import RecDataset, load_preset
 from .eval import Evaluator
 from .models import BPRMF, FISM, ItemKNN, Popularity, SASRec, UserKNN, YouTubeDNN

@@ -1,5 +1,7 @@
 """Analyses behind the paper's motivating and diagnostic figures (Figures 1 and 4)."""
 
+from __future__ import annotations
+
 from .category_drift import CategoryDriftResult, category_drift_distribution
 from .similarity_distribution import (
     SimilarityDistributions,

@@ -1,5 +1,7 @@
 """Similarity-search substrate (the role Faiss plays in the paper's deployment)."""
 
+from __future__ import annotations
+
 from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np

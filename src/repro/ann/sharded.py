@@ -31,7 +31,7 @@ on the unsharded score matrix.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,7 +53,7 @@ class SearchResults(list):
 
     __slots__ = ("degraded",)
 
-    def __init__(self, rows=(), degraded: bool = False) -> None:
+    def __init__(self, rows: Iterable = (), degraded: bool = False) -> None:
         super().__init__(rows)
         self.degraded = degraded
 
@@ -147,10 +147,10 @@ class ScatterGatherMixin:
     def close(self) -> None:  # pragma: no cover — always overridden
         raise NotImplementedError
 
-    def __enter__(self):
+    def __enter__(self) -> "ScatterGatherMixin":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: object, exc_value: object, traceback: object) -> None:
         self.close()
 
     def __del__(self) -> None:
@@ -362,7 +362,7 @@ class ShardedIndex(ScatterGatherMixin):
         if len(live) == 1 and self.failure_policy == "raise":
             return live[0].search_batch(queries, k, exclude_per_query=exclude_per_query)
 
-        def scatter(backend):
+        def scatter(backend: Any) -> "SearchResults":
             return backend.search_batch(queries, k, exclude_per_query=exclude_per_query)
 
         if self.num_threads is not None and self.num_threads > 1 and len(live) > 1:

@@ -242,7 +242,7 @@ class SharedMatrix:
     def __enter__(self) -> "SharedMatrix":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: object, exc_value: object, traceback: object) -> None:
         self.close()
 
     def __del__(self) -> None:

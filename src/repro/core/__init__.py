@@ -1,5 +1,7 @@
 """SCCF core: user-based component, integrating MLP, framework, real-time server."""
 
+from __future__ import annotations
+
 from .cache import CacheStats, LayerStats, LRUCache, ServingCache
 from .merger import CandidateFeatures, IntegratingMLP, normalize_scores
 from .realtime import (

@@ -78,7 +78,7 @@ import sys
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "MISS",
@@ -385,7 +385,7 @@ class ServingCache:
         if current is owner:
             self._owner = None
 
-    def __deepcopy__(self, memo):
+    def __deepcopy__(self, memo: Dict[int, Any]) -> "ServingCache":
         """Deep copy that follows the owner into the copied object graph.
 
         ``weakref.ref`` is deepcopy-atomic, so without this the copy of a
@@ -436,7 +436,13 @@ class ServingCache:
         return sum(len(layer) for layer in self.layers)
 
 
-def serve_batch(layer, keys, tokens, compute, cacheable=None) -> List[Any]:
+def serve_batch(
+    layer: Optional["LRUCache"],
+    keys: List[Hashable],
+    tokens: List[Any],
+    compute: "Callable[[List[int]], List[Any]]",
+    cacheable: "Optional[Callable[[], bool]]" = None,
+) -> List[Any]:
     """Batched cache-through: probe ``layer`` per key, recompute misses in one call.
 
     The one scaffold every cached layer shares — probe, collect the missing
@@ -468,7 +474,7 @@ def serve_batch(layer, keys, tokens, compute, cacheable=None) -> List[Any]:
     return values
 
 
-def history_fingerprint(history) -> Tuple[int, int, int]:
+def history_fingerprint(history: Optional[Sequence[int]]) -> Tuple[int, int, int]:
     """Fingerprint of a history: ``(length, last item, content hash)``.
 
     The per-user version counter alone pins the history for version-tracked

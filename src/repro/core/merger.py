@@ -18,7 +18,7 @@ not appear in either candidate list are skipped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -121,7 +121,9 @@ class IntegratingMLP:
             final_layer.weight.data[:] = 0.0
         # Frozen weight snapshot for the pure-NumPy serving forward; rebuilt
         # after every fit and lazily on first predict (see :meth:`freeze`).
-        self._frozen: Optional[Tuple[List[Tuple[str, Optional[np.ndarray], Optional[np.ndarray]]], Optional[np.ndarray]]] = None
+        self._frozen: Optional[
+            Tuple[List[Tuple[str, Optional[np.ndarray], Optional[np.ndarray]]], Optional[np.ndarray]]
+        ] = None
         #: monotonic weight-change counter, bumped by :meth:`fit` and
         #: :meth:`freeze`; serving caches fold it into their tokens so a
         #: merger re-trained behind a fitted SCCF's back invalidates every

@@ -46,7 +46,7 @@ from ..ann import DEFAULT_RETRAIN_THRESHOLD, search_batch
 from ..data.datasets import RecDataset
 from ..models.base import exclude_seen_items
 from .cache import MISS
-from .sccf import SCCF, _NEG_INF
+from .sccf import _NEG_INF, SCCF
 
 __all__ = [
     "HealthReport",
@@ -58,7 +58,7 @@ __all__ = [
 ]
 
 
-def _as_id(value, name: str) -> int:
+def _as_id(value: object, name: str) -> int:
     """Coerce a request-supplied id to ``int``, rejecting junk with a clear error.
 
     Request ids arrive from outside the process (JSON payloads, CSV streams),
@@ -643,7 +643,7 @@ class RealTimeServer:
     def __enter__(self) -> "RealTimeServer":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: object, exc_value: object, traceback: object) -> None:
         self.close()
 
 
@@ -801,6 +801,6 @@ class EventBuffer:
     def __enter__(self) -> "EventBuffer":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: object, exc_value: object, traceback: object) -> None:
         if exc_type is None:
             self.flush()

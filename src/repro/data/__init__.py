@@ -1,5 +1,7 @@
 """Data substrate: interaction logs, datasets, loaders, synthetic generators, sampling."""
 
+from __future__ import annotations
+
 from .datasets import DatasetStatistics, RecDataset
 from .interactions import Interaction, InteractionLog
 from .loaders import (

@@ -16,8 +16,8 @@ the responsibility of :mod:`repro.data.preprocessing`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 from scipy import sparse

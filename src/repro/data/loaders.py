@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, TextIO, Union
 
 from .interactions import InteractionLog
 
@@ -33,7 +33,7 @@ __all__ = [
 PathLike = Union[str, Path]
 
 
-def _open_lines(path: PathLike):
+def _open_lines(path: PathLike) -> TextIO:
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"dataset file not found: {path}")
@@ -78,13 +78,28 @@ def load_movielens_ratings(
     return InteractionLog(users, items, timestamps)
 
 
-def _consume_csv_row(row, users, items, timestamps, min_rating) -> None:
+def _consume_csv_row(
+    row: Sequence[str],
+    users: List[int],
+    items: List[int],
+    timestamps: List[float],
+    min_rating: float,
+) -> None:
     if not row or len(row) < 4:
         return
     _consume_fields(row[0], row[1], row[2], row[3], users, items, timestamps, min_rating)
 
 
-def _consume_fields(user, item, rating, timestamp, users, items, timestamps, min_rating) -> None:
+def _consume_fields(
+    user: str,
+    item: str,
+    rating: str,
+    timestamp: str,
+    users: List[int],
+    items: List[int],
+    timestamps: List[float],
+    min_rating: float,
+) -> None:
     try:
         rating_value = float(rating)
         user_id = int(user)

@@ -15,7 +15,7 @@ strategies are provided, matching the per-model training protocols:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Iterator, Optional, Sequence, Set, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ shifted by +1 when fed to sequence models (handled inside the models).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

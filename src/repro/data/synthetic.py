@@ -30,7 +30,7 @@ sequences, Amazon analogs sparse with short sequences.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -320,7 +320,7 @@ PRESETS: Dict[str, SyntheticConfig] = {
 }
 
 
-def load_preset(preset: str, seed: Optional[int] = None, **overrides) -> RecDataset:
+def load_preset(preset: str, seed: Optional[int] = None, **overrides: object) -> RecDataset:
     """Generate the preset dataset ``preset``.
 
     ``seed`` and any other :class:`SyntheticConfig` field (including ``name``)

@@ -1,5 +1,7 @@
 """Evaluation: ranking metrics, leave-one-out evaluator, latency measurement."""
 
+from __future__ import annotations
+
 from .evaluator import EvaluationResult, Evaluator
 from .metrics import RankingMetrics, aggregate_ranks, hit_ratio_at_k, ndcg_at_k, rank_of_target
 from .timing import Stopwatch, TimingResult, time_callable

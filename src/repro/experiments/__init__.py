@@ -1,5 +1,7 @@
 """Experiment runners regenerating every table and figure of the paper."""
 
+from __future__ import annotations
+
 from .ab import format_table5, run_table5
 from .ablations import AblationRow, run_ann_ablation, run_merger_ablation, run_recency_ablation
 from .analysis_runs import format_figure1, format_table1, run_figure1, run_figure4, run_table1

@@ -9,10 +9,8 @@ downstream modules unchanged except the candidate generation module").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
 
-from ..core.sccf import SCCFConfig, SCCF
+from ..core.sccf import SCCF, SCCFConfig
 from ..models import YouTubeDNN
 from ..simulation import ABTestConfig, ABTestHarness, ABTestResult, ClickstreamConfig
 

@@ -24,8 +24,7 @@ from ..ann import BruteForceIndex, IVFIndex
 from ..core.sccf import SCCF, SCCFConfig
 from ..data.datasets import RecDataset
 from ..eval import Evaluator
-from ..eval.metrics import rank_of_target, RankingMetrics
-from ..models.base import InductiveUIModel, exclude_seen_items
+from ..eval.metrics import RankingMetrics, rank_of_target
 from .configs import ExperimentScale, get_scale, load_datasets, make_fism, make_sccf
 
 __all__ = [

@@ -4,7 +4,6 @@ candidate-similarity distributions (Figure 4), plus the Table I statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis import (

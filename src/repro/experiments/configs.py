@@ -16,7 +16,7 @@ so sweeps never share state between runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 from ..core.sccf import SCCF, SCCFConfig
 from ..data.datasets import RecDataset
@@ -60,7 +60,7 @@ class ExperimentScale:
     datasets: Sequence[str]
     seed: int = 0
 
-    def with_overrides(self, **overrides) -> "ExperimentScale":
+    def with_overrides(self, **overrides: object) -> "ExperimentScale":
         return replace(self, **overrides)
 
 
@@ -101,7 +101,7 @@ FULL = ExperimentScale(
 _SCALES: Dict[str, ExperimentScale] = {"quick": QUICK, "full": FULL}
 
 
-def get_scale(name_or_scale) -> ExperimentScale:
+def get_scale(name_or_scale: "Union[str, ExperimentScale]") -> ExperimentScale:
     """Resolve a scale by name (or pass an :class:`ExperimentScale` through)."""
 
     if isinstance(name_or_scale, ExperimentScale):

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.realtime import EventBuffer, RealTimeServer
+from ..core.sccf import SCCF
 from ..data.datasets import RecDataset
 from ..models import UserKNN
 from .configs import ExperimentScale, get_scale, load_datasets, make_sasrec, make_sccf
@@ -114,7 +115,7 @@ def run_table3(
         # --- SCCF: inductive inference + index query --------------------- #
         # The cached row below must measure the identical workload, so both
         # go through one helper.
-        def measure_sccf_row(sccf, method: str) -> RealtimeLatencyRow:
+        def measure_sccf_row(sccf: SCCF, method: str) -> RealtimeLatencyRow:
             server = RealTimeServer(sccf, dataset)
             for user, item in zip(sampled_users, new_items):
                 server.observe(int(user), int(item))

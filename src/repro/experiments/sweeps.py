@@ -13,8 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..core.sccf import SCCF
 from ..data.datasets import RecDataset
 from ..eval import Evaluator
+from ..models.base import InductiveUIModel
 from .configs import ExperimentScale, get_scale, load_datasets, make_fism, make_sasrec, make_sccf
 
 __all__ = ["SweepPoint", "run_dimension_sweep", "run_neighbor_sweep", "format_sweep"]
@@ -41,7 +43,9 @@ class SweepPoint:
         return row
 
 
-def _make_ui_model(base_name: str, scale: ExperimentScale, embedding_dim: int):
+def _make_ui_model(
+    base_name: str, scale: ExperimentScale, embedding_dim: int
+) -> InductiveUIModel:
     if base_name == "FISM":
         return make_fism(scale, embedding_dim=embedding_dim)
     if base_name == "SASRec":
@@ -50,7 +54,7 @@ def _make_ui_model(base_name: str, scale: ExperimentScale, embedding_dim: int):
 
 
 def _evaluate_modes(
-    sccf,
+    sccf: SCCF,
     dataset: RecDataset,
     evaluator: Evaluator,
     dataset_name: str,

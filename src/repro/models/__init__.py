@@ -1,5 +1,7 @@
 """Baseline and UI recommendation models evaluated in the paper."""
 
+from __future__ import annotations
+
 from .base import InductiveUIModel, Recommender, exclude_seen_items
 from .bprmf import BPRMF
 from .fism import FISM

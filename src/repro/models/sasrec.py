@@ -160,7 +160,9 @@ class SASRec(InductiveUIModel):
             epoch_loss = 0.0
             count = 0
             for batch in batcher.epoch():
-                loss = self._batch_loss(batch.input_sequences, batch.positive_targets, batch.negative_targets, batch.mask)
+                loss = self._batch_loss(
+                    batch.input_sequences, batch.positive_targets, batch.negative_targets, batch.mask
+                )
                 optimizer.zero_grad()
                 loss.backward()
                 optimizer.step()

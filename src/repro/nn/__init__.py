@@ -12,6 +12,8 @@ for the substitution rationale.  Public surface:
 * checkpointing: :func:`save_checkpoint` / :func:`load_checkpoint`
 """
 
+from __future__ import annotations
+
 from . import functional
 from . import init
 from .attention import (
@@ -23,7 +25,7 @@ from .attention import (
 )
 from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, ReLU, Sequential, Sigmoid, Tanh
 from .module import Module, Parameter
-from .optim import Adam, ConstantSchedule, LinearDecay, Optimizer, SGD, StepDecay
+from .optim import SGD, Adam, ConstantSchedule, LinearDecay, Optimizer, StepDecay
 from .serialization import load_checkpoint, load_state_dict, save_checkpoint, save_state_dict
 from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 

@@ -9,11 +9,11 @@ attention over padded sequences.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, is_grad_enabled
+from .tensor import Tensor, as_tensor
 
 __all__ = [
     "embedding",
@@ -45,7 +45,7 @@ def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
     indices = np.asarray(indices, dtype=np.int64)
     data = weight.data[indices]
 
-    def make_backward(out: Tensor):
+    def make_backward(out: Tensor) -> Callable[[], None]:
         def _backward() -> None:
             if weight.requires_grad:
                 grad = np.zeros_like(weight.data)
@@ -80,7 +80,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
-    def make_backward(out: Tensor):
+    def make_backward(out: Tensor) -> Callable[[], None]:
         def _backward() -> None:
             for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
                 if not tensor.requires_grad:
@@ -100,7 +100,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     tensors = [as_tensor(t) for t in tensors]
     data = np.stack([t.data for t in tensors], axis=axis)
 
-    def make_backward(out: Tensor):
+    def make_backward(out: Tensor) -> Callable[[], None]:
         def _backward() -> None:
             for i, tensor in enumerate(tensors):
                 if not tensor.requires_grad:
@@ -137,7 +137,7 @@ def where(condition: np.ndarray, x: Tensor, y: Tensor) -> Tensor:
     y = as_tensor(y)
     data = np.where(condition, x.data, y.data)
 
-    def make_backward(out: Tensor):
+    def make_backward(out: Tensor) -> Callable[[], None]:
         def _backward() -> None:
             if x.requires_grad:
                 from .tensor import _unbroadcast
@@ -176,7 +176,7 @@ def clip(x: Tensor, low: float, high: float) -> Tensor:
 
     data = np.clip(x.data, low, high)
 
-    def make_backward(out: Tensor):
+    def make_backward(out: Tensor) -> Callable[[], None]:
         def _backward() -> None:
             if x.requires_grad:
                 inside = ((x.data >= low) & (x.data <= high)).astype(np.float64)
@@ -205,7 +205,7 @@ def binary_cross_entropy_with_logits(
 
     data = np.maximum(z, 0.0) - z * targets + np.log1p(np.exp(-np.abs(z)))
 
-    def make_backward(out: Tensor):
+    def make_backward(out: Tensor) -> Callable[[], None]:
         def _backward() -> None:
             if logits.requires_grad:
                 sig = 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))

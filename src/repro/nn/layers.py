@@ -14,7 +14,7 @@ These are the building blocks referenced throughout Section III of the paper:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -168,7 +168,7 @@ class Sequential(Module):
     def __len__(self) -> int:
         return len(self._order)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator["Module"]:
         return (self._modules[name] for name in self._order)
 
 

@@ -9,11 +9,11 @@ parameter registration by attribute assignment, recursive ``parameters()``,
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import ArrayLike, Tensor
 
 __all__ = ["Parameter", "Module"]
 
@@ -21,7 +21,7 @@ __all__ = ["Parameter", "Module"]
 class Parameter(Tensor):
     """A :class:`Tensor` that is always trainable and owned by a module."""
 
-    def __init__(self, data, name: Optional[str] = None) -> None:
+    def __init__(self, data: ArrayLike, name: Optional[str] = None) -> None:
         super().__init__(data, requires_grad=True, name=name)
 
 
@@ -36,7 +36,7 @@ class Module:
     # ------------------------------------------------------------------ #
     # registration
     # ------------------------------------------------------------------ #
-    def __setattr__(self, name: str, value) -> None:
+    def __setattr__(self, name: str, value: object) -> None:
         if isinstance(value, Parameter):
             self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
         elif isinstance(value, Module):
@@ -123,8 +123,8 @@ class Module:
     # ------------------------------------------------------------------ #
     # call protocol
     # ------------------------------------------------------------------ #
-    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+    def forward(self, *args: Any, **kwargs: Any) -> Any:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def __call__(self, *args, **kwargs):
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
         return self.forward(*args, **kwargs)

@@ -13,7 +13,6 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from .module import Parameter
-from .tensor import Tensor
 
 __all__ = ["Optimizer", "SGD", "Adam", "LearningRateSchedule", "LinearDecay", "StepDecay", "ConstantSchedule"]
 

@@ -31,6 +31,10 @@ import numpy as np
 __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+#: anything numpy accepts as a dtype argument
+DTypeLike = Union[type, str, np.dtype]
+#: reduction axis argument: None (all), one axis, or a tuple of axes
+AxisLike = Union[None, int, Tuple[int, ...]]
 
 _GRAD_ENABLED = True
 
@@ -48,7 +52,7 @@ class no_grad:
         _GRAD_ENABLED = False
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         global _GRAD_ENABLED
         _GRAD_ENABLED = self._prev
 
@@ -79,7 +83,7 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def as_tensor(value: ArrayLike, dtype=np.float64) -> "Tensor":
+def as_tensor(value: ArrayLike, dtype: "DTypeLike" = np.float64) -> "Tensor":
     """Coerce ``value`` into a :class:`Tensor` (no-op if it already is one)."""
 
     if isinstance(value, Tensor):
@@ -124,7 +128,7 @@ class Tensor:
         return self.data.size
 
     @property
-    def dtype(self):
+    def dtype(self) -> np.dtype:
         return self.data.dtype
 
     @property
@@ -312,7 +316,7 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # reductions
     # ------------------------------------------------------------------ #
-    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def sum(self, axis: "AxisLike" = None, keepdims: bool = False) -> "Tensor":
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def make_backward(out: Tensor) -> Callable[[], None]:
@@ -328,7 +332,7 @@ class Tensor:
 
         return Tensor._make(data, (self,), make_backward)
 
-    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def mean(self, axis: "AxisLike" = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
             count = self.data.size
         elif isinstance(axis, tuple):
@@ -337,7 +341,7 @@ class Tensor:
             count = self.shape[axis]
         return self.sum(axis=axis, keepdims=keepdims) / float(count)
 
-    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def max(self, axis: "AxisLike" = None, keepdims: bool = False) -> "Tensor":
         data = self.data.max(axis=axis, keepdims=keepdims)
 
         def make_backward(out: Tensor) -> Callable[[], None]:
@@ -413,7 +417,7 @@ class Tensor:
 
         return Tensor._make(data, (self,), make_backward)
 
-    def __getitem__(self, index) -> "Tensor":
+    def __getitem__(self, index: object) -> "Tensor":
         data = self.data[index]
 
         def make_backward(out: Tensor) -> Callable[[], None]:

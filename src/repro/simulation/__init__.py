@@ -1,5 +1,7 @@
 """Online-behaviour simulation: drifting clickstreams and the A/B test harness."""
 
+from __future__ import annotations
+
 from .ab_test import ABTestConfig, ABTestHarness, ABTestResult, BucketOutcome
 from .clickstream import ClickstreamConfig, ClickstreamSimulator, replay_log, simulate_clickstream
 

@@ -26,7 +26,7 @@ The harness reports total clicks/trades per bucket and the relative lift.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

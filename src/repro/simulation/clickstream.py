@@ -17,7 +17,7 @@ clicked or purchased.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -186,7 +186,7 @@ def simulate_clickstream(config: Optional[ClickstreamConfig] = None) -> Interact
     return simulator.simulate()
 
 
-def replay_log(log: InteractionLog, server, flush_size: int = 256) -> List:
+def replay_log(log: InteractionLog, server: Any, flush_size: int = 256) -> List:
     """Replay a simulated clickstream through a server in micro-batches.
 
     Streams ``log``'s events in timestamp order through an

@@ -1,5 +1,7 @@
 """Test-support utilities shipped with the library (deterministic fault injection)."""
 
+from __future__ import annotations
+
 from .faults import FaultInjector, InjectedFault
 
 __all__ = ["FaultInjector", "InjectedFault"]
