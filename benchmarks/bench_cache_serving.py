@@ -40,7 +40,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.core import RealTimeServer, SCCF, SCCFConfig, ServingCache
+from repro.core import SCCF, RealTimeServer, SCCFConfig, ServingCache
 from repro.data import load_preset
 from repro.models import FISM
 

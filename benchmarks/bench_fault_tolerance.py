@@ -176,8 +176,10 @@ def bench_recovery(
 def format_report(baseline: Dict, chaos: Dict, recovery: Dict, kill_every: int) -> str:
     lines = [
         f"fault tolerance: kill one worker every {kill_every} queries, degrade policy",
-        f"  baseline:      {baseline['qps']:>8.0f} QPS   p50 {baseline['p50_ms']:.2f} ms   p99 {baseline['p99_ms']:.2f} ms",
-        f"  under chaos:   {chaos['qps']:>8.0f} QPS   p50 {chaos['p50_ms']:.2f} ms   p99 {chaos['p99_ms']:.2f} ms",
+        f"  baseline:      {baseline['qps']:>8.0f} QPS   p50 {baseline['p50_ms']:.2f} ms"
+        f"   p99 {baseline['p99_ms']:.2f} ms",
+        f"  under chaos:   {chaos['qps']:>8.0f} QPS   p50 {chaos['p50_ms']:.2f} ms"
+        f"   p99 {chaos['p99_ms']:.2f} ms",
         f"  kills/restarts: {chaos['kills']} / {chaos['restarts_total']}"
         f"   healed at end: {chaos['healed_at_end']}",
         f"  answers: {chaos['full_answers']} full, {chaos['degraded_answers']} degraded, "

@@ -32,7 +32,10 @@ def test_figure4_candidate_similarity_distributions(benchmark, bench_datasets):
     print(f"{'UU candidates':<16}{means['uu']:>18.4f}{len(result.uu_candidates):>8}")
     print("\nhistogram (users per similarity bin):")
     for row in result.as_rows(bins=12):
-        print(f"  {row['similarity']:>7}  gt={row['ground_truth_users']:<5} ui={row['ui_users']:<5} uu={row['uu_users']:<5}")
+        print(
+            f"  {row['similarity']:>7}  gt={row['ground_truth_users']:<5}"
+            f" ui={row['ui_users']:<5} uu={row['uu_users']:<5}"
+        )
 
     # The Figure 4 ordering: UI candidates sit closest to the user, the
     # user-based candidates farthest, with the ground truth in between /

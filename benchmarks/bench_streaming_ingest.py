@@ -27,7 +27,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.core import EventBuffer, RealTimeServer, SCCF, SCCFConfig
+from repro.core import SCCF, EventBuffer, RealTimeServer, SCCFConfig
 from repro.data import load_preset
 from repro.models import FISM
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.merger import CandidateFeatures, IntegratingMLP, normalize_scores
+from repro.core.merger import IntegratingMLP, normalize_scores
 
 
 class TestNormalizeScores:

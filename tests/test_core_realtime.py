@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import RealTimeServer, SCCF, SCCFConfig
+from repro.core import SCCF, RealTimeServer, SCCFConfig
 from repro.core.realtime import LatencyBreakdown
 
 

@@ -7,20 +7,16 @@ wiring, output schema and the qualitative invariants they encode.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.data import load_preset
 from repro.experiments import (
     EXPERIMENTS,
     QUICK,
-    ExperimentScale,
     format_figure1,
     format_sweep,
     format_table1,
     format_table2,
     format_table3,
-    format_table5,
     get_experiment,
     get_scale,
     list_experiments,

@@ -42,7 +42,7 @@ from hypothesis import strategies as st
 
 from repro.ann import BruteForceIndex, ProcessShardedIndex, ShardedIndex
 from repro.ann.sharded import SearchResults
-from repro.core import SCCF, SCCFConfig, MaintenanceScheduler, RealTimeServer
+from repro.core import SCCF, MaintenanceScheduler, RealTimeServer, SCCFConfig
 from repro.core.realtime import HealthReport
 from repro.testing import FaultInjector, InjectedFault
 from repro.testing.faults import _FlakyPipe

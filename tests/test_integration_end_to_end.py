@@ -9,10 +9,9 @@ exercise every module boundary together.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import __version__
-from repro.core import RealTimeServer, SCCF, SCCFConfig
+from repro.core import SCCF, RealTimeServer, SCCFConfig
 from repro.data import load_preset
 from repro.eval import Evaluator
 from repro.models import FISM, Popularity, SASRec, YouTubeDNN

@@ -5,9 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data import RecDataset
 from repro.eval import Evaluator
-from repro.models import FISM, Popularity, SASRec, YouTubeDNN
+from repro.models import FISM, SASRec, YouTubeDNN
 from repro.models.base import InductiveUIModel
 
 

@@ -7,7 +7,6 @@ import pytest
 
 from repro import nn
 from repro.nn import init
-from repro.nn.module import Module, Parameter
 
 
 class TestInitializers:

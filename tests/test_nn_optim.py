@@ -7,7 +7,7 @@ import pytest
 
 from repro import nn
 from repro.nn.module import Parameter
-from repro.nn.optim import Adam, ConstantSchedule, LinearDecay, SGD, StepDecay
+from repro.nn.optim import SGD, Adam, ConstantSchedule, LinearDecay, StepDecay
 
 
 def quadratic_loss(param: Parameter) -> nn.Tensor:

@@ -44,11 +44,11 @@ from repro.ann import (
     BruteForceIndex,
     NeighborIndex,
     ProcessShardedIndex,
-    SharedMatrix,
     ShardedIndex,
+    SharedMatrix,
 )
 from repro.ann.process_sharded import _execute
-from repro.core import SCCF, SCCFConfig, RealTimeServer, UserNeighborhoodComponent
+from repro.core import SCCF, RealTimeServer, SCCFConfig, UserNeighborhoodComponent
 from repro.testing import FaultInjector
 
 

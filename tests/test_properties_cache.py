@@ -31,7 +31,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.ann import IVFIndex
-from repro.core import RealTimeServer, SCCF, SCCFConfig, ServingCache
+from repro.core import SCCF, RealTimeServer, SCCFConfig, ServingCache
 from repro.data import load_preset
 from repro.models import FISM
 

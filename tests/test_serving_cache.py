@@ -14,10 +14,10 @@ import pytest
 from repro import nn
 from repro.ann import BruteForceIndex, IVFIndex, ShardedIndex
 from repro.core import (
+    SCCF,
     IntegratingMLP,
     MaintenanceScheduler,
     RealTimeServer,
-    SCCF,
     SCCFConfig,
     ServingCache,
     UserNeighborhoodComponent,
@@ -610,7 +610,7 @@ class TestServingCacheIntegration:
         user = tiny_dataset.evaluation_users()[0]
         e1 = component.user_embedding(user)[None, :]
         e2 = rng.normal(size=e1.shape)
-        first = component.score_for_users([user], user_embeddings=e1)
+        component.score_for_users([user], user_embeddings=e1)  # primes nothing cacheable
         second = component.score_for_users([user], user_embeddings=e2)
         uncached = UserNeighborhoodComponent(
             num_neighbors=component.num_neighbors, recency_window=component.recency_window

@@ -18,7 +18,7 @@ from repro.ann import (
     NeighborIndex,
     ShardedIndex,
 )
-from repro.core import SCCF, SCCFConfig, RealTimeServer, UserNeighborhoodComponent
+from repro.core import SCCF, RealTimeServer, SCCFConfig, UserNeighborhoodComponent
 
 
 class TestShardedIndex:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.models import Popularity, YouTubeDNN
+from repro.models import Popularity
 from repro.simulation import (
     ABTestConfig,
     ABTestHarness,

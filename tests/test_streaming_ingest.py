@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import EventBuffer, RealTimeServer, SCCF, SCCFConfig
+from repro.core import SCCF, EventBuffer, RealTimeServer, SCCFConfig
 
 
 def _fresh_server(tiny_dataset, trained_fism) -> RealTimeServer:
