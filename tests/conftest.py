@@ -8,12 +8,21 @@ couple of seconds each.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.core import SCCF, SCCFConfig
 from repro.data import InteractionLog, RecDataset, load_preset
 from repro.models import FISM, SASRec
+
+# Make the repo-root ``tools`` package (repolint, stylecheck) importable no
+# matter how pytest was launched; the runtime package comes from PYTHONPATH=src.
+_REPO_ROOT = str(Path(__file__).resolve().parents[1])
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
 
 
 @pytest.fixture(scope="session")

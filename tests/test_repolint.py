@@ -1,0 +1,614 @@
+"""Tests for tools/repolint — the serving-stack invariant linter.
+
+Every rule gets at least one positive fixture (the violation fires) and one
+negative fixture (the idiomatic pattern passes).  The suite also locks in the
+suppression-comment contract, the CLI exit codes, and — most importantly —
+that the live tree under ``src/repro`` is clean, so a regression in any
+serving invariant fails the tier-1 run even on machines without the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from tools.repolint import RULES, Finding, lint_paths, lint_sources
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint_snippet(source: str, select=None):
+    return lint_sources({"snippet.py": textwrap.dedent(source)}, select)
+
+
+def codes(findings) -> list:
+    return [finding.code for finding in findings]
+
+
+# --------------------------------------------------------------------- #
+# RL001 — epoch-bump
+# --------------------------------------------------------------------- #
+class TestEpochBump:
+    def test_mutator_without_bump_fires(self):
+        findings = lint_snippet(
+            """
+            class FlatIndex:
+                def __init__(self):
+                    self.epoch = 0
+                    self._rows = []
+
+                def add(self, row):
+                    self._rows.append(row)
+            """
+        )
+        assert codes(findings) == ["RL001"]
+        assert "FlatIndex.add" in findings[0].message
+
+    def test_mutator_with_bump_passes(self):
+        findings = lint_snippet(
+            """
+            class FlatIndex:
+                def __init__(self):
+                    self.epoch = 0
+                    self._rows = []
+
+                def add(self, row):
+                    self._rows.append(row)
+                    self.epoch += 1
+            """
+        )
+        assert findings == []
+
+    def test_branch_that_skips_the_bump_fires(self):
+        findings = lint_snippet(
+            """
+            class FlatIndex:
+                def __init__(self):
+                    self.epoch = 0
+                    self._map = {}
+
+                def update(self, key, row):
+                    self._map[key] = row
+                    if key is None:
+                        return
+                    self.epoch += 1
+            """
+        )
+        assert codes(findings) == ["RL001"]
+
+    def test_clean_early_return_before_mutation_passes(self):
+        findings = lint_snippet(
+            """
+            class FlatIndex:
+                def __init__(self):
+                    self.epoch = 0
+                    self._map = {}
+
+                def update(self, key, row):
+                    if key not in self._map:
+                        return
+                    self._map[key] = row
+                    self.epoch += 1
+            """
+        )
+        assert findings == []
+
+    def test_delegating_to_a_mutator_counts_as_bumping(self):
+        findings = lint_snippet(
+            """
+            class FlatIndex:
+                def __init__(self):
+                    self.epoch = 0
+                    self._rows = []
+
+                def add(self, row):
+                    self._rows.append(row)
+                    self.epoch += 1
+
+                def update_batch(self, rows):
+                    for row in rows:
+                        self.add(row)
+            """
+        )
+        assert findings == []
+
+    def test_non_index_class_is_out_of_scope(self):
+        findings = lint_snippet(
+            """
+            class Formatter:
+                def __init__(self):
+                    self._parts = []
+
+                def add(self, part):
+                    self._parts.append(part)
+            """
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# RL002 — shm-lifecycle
+# --------------------------------------------------------------------- #
+class TestShmLifecycle:
+    def test_leaked_local_segment_fires(self):
+        findings = lint_snippet(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def leak():
+                segment = SharedMemory(name="x", create=True, size=64)
+                segment.buf[0] = 1
+            """
+        )
+        assert codes(findings) == ["RL002"]
+
+    def test_try_finally_release_passes(self):
+        findings = lint_snippet(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def tidy():
+                segment = SharedMemory(name="x", create=True, size=64)
+                try:
+                    segment.buf[0] = 1
+                finally:
+                    segment.close()
+                    segment.unlink()
+            """
+        )
+        assert findings == []
+
+    def test_with_statement_passes(self):
+        findings = lint_snippet(
+            """
+            def tidy(SharedMatrix):
+                with SharedMatrix.attach("seg") as matrix:
+                    return matrix.sum()
+            """
+        )
+        assert findings == []
+
+    def test_ownership_transfer_via_return_passes(self):
+        findings = lint_snippet(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def make():
+                return SharedMemory(name="x", create=True, size=64)
+            """
+        )
+        assert findings == []
+
+    def test_stored_on_self_with_close_passes(self):
+        findings = lint_snippet(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            class Owner:
+                def __init__(self):
+                    self._shm = SharedMemory(name="x", create=True, size=64)
+
+                def close(self):
+                    self._shm.close()
+                    self._shm.unlink()
+            """
+        )
+        assert findings == []
+
+    def test_stored_on_self_without_close_fires(self):
+        findings = lint_snippet(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            class Hoarder:
+                def __init__(self):
+                    self._shm = SharedMemory(name="x", create=True, size=64)
+            """
+        )
+        assert codes(findings) == ["RL002"]
+        assert "no close()" in findings[0].message
+
+
+# --------------------------------------------------------------------- #
+# RL003 — batch-of-one
+# --------------------------------------------------------------------- #
+class TestBatchOfOne:
+    def test_pure_delegation_passes(self):
+        findings = lint_snippet(
+            """
+            class Index:
+                def search_batch(self, queries):
+                    return [len(q) for q in queries]
+
+                def search(self, query):
+                    return self.search_batch([query])[0]
+            """
+        )
+        assert findings == []
+
+    def test_wrapper_with_its_own_loop_fires(self):
+        findings = lint_snippet(
+            """
+            class Index:
+                def search_batch(self, queries):
+                    return [len(q) for q in queries]
+
+                def search(self, query):
+                    out = []
+                    for row in self.search_batch([query]):
+                        out.append(row)
+                    return out
+            """
+        )
+        assert codes(findings) == ["RL003"]
+        assert "for block" in findings[0].message
+
+    def test_wrapper_that_bypasses_the_canonical_fires(self):
+        findings = lint_snippet(
+            """
+            class Drift:
+                def search_batch(self, queries):
+                    return list(queries)
+
+                def search(self, query):
+                    return self._lookup(query)
+            """
+        )
+        assert codes(findings) == ["RL003"]
+        assert "never calls self.search_batch" in findings[0].message
+
+    def test_batch_derived_from_single_is_exempt(self):
+        # The offline model zoo's fallback direction: an abstract score_items
+        # with a default score_items_batch that loops over it.
+        findings = lint_snippet(
+            """
+            class Recommender:
+                def score_items(self, user, items):
+                    raise NotImplementedError
+
+                def score_items_batch(self, users, items):
+                    return [self.score_items(user, items) for user in users]
+            """
+        )
+        assert findings == []
+
+    def test_single_method_without_a_pair_is_out_of_scope(self):
+        findings = lint_snippet(
+            """
+            class Solo:
+                def search(self, query):
+                    return query.upper()
+            """
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# RL004 — degraded-not-cached
+# --------------------------------------------------------------------- #
+class TestDegradedNotCached:
+    def test_serve_batch_without_cacheable_fires(self):
+        findings = lint_snippet(
+            """
+            def recommend(layer, keys, tokens, compute):
+                return serve_batch(layer, keys, tokens, compute)
+            """
+        )
+        assert codes(findings) == ["RL004"]
+        assert "cacheable" in findings[0].message
+
+    def test_serve_batch_with_cacheable_passes(self):
+        findings = lint_snippet(
+            """
+            def recommend(layer, keys, tokens, compute, server):
+                return serve_batch(
+                    layer, keys, tokens, compute, cacheable=lambda: not server.degraded
+                )
+            """
+        )
+        assert findings == []
+
+    def test_unguarded_cache_put_fires(self):
+        findings = lint_snippet(
+            """
+            class Server:
+                def remember(self, key, value):
+                    self._neighbor_cache.put(key, value)
+            """
+        )
+        assert codes(findings) == ["RL004"]
+
+    def test_guarded_cache_put_passes(self):
+        findings = lint_snippet(
+            """
+            class Server:
+                def remember(self, key, value, cacheable):
+                    if cacheable:
+                        self._neighbor_cache.put(key, value)
+            """
+        )
+        assert findings == []
+
+    def test_guard_via_assigned_flag_passes(self):
+        findings = lint_snippet(
+            """
+            class Server:
+                def remember(self, key, value):
+                    ok = not self.degraded
+                    if ok:
+                        self._neighbor_cache.put(key, value)
+            """
+        )
+        assert findings == []
+
+    def test_put_on_a_non_cache_receiver_is_out_of_scope(self):
+        findings = lint_snippet(
+            """
+            def enqueue(queue, item):
+                queue.put(item)
+            """
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# RL005 — unbounded-telemetry
+# --------------------------------------------------------------------- #
+class TestUnboundedTelemetry:
+    def test_list_accumulator_fires(self):
+        findings = lint_snippet(
+            """
+            class Server:
+                def __init__(self):
+                    self._latency_samples = []
+            """
+        )
+        assert codes(findings) == ["RL005"]
+
+    def test_maxlen_deque_passes(self):
+        findings = lint_snippet(
+            """
+            from collections import deque
+
+            class Server:
+                def __init__(self):
+                    self._latency_samples = deque(maxlen=256)
+            """
+        )
+        assert findings == []
+
+    def test_unbounded_deque_fires(self):
+        findings = lint_snippet(
+            """
+            from collections import deque
+
+            class Server:
+                def __init__(self):
+                    self._recent_timings = deque()
+            """
+        )
+        assert codes(findings) == ["RL005"]
+
+    def test_non_telemetry_list_is_out_of_scope(self):
+        findings = lint_snippet(
+            """
+            class Server:
+                def __init__(self):
+                    self._rows = []
+            """
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# RL006 — worker-protocol
+# --------------------------------------------------------------------- #
+class TestWorkerProtocol:
+    def test_unguarded_recv_fires(self):
+        findings = lint_snippet(
+            """
+            def pump(conn):
+                return conn.recv()
+            """
+        )
+        assert codes(findings) == ["RL006"]
+
+    def test_poll_guarded_recv_passes(self):
+        findings = lint_snippet(
+            """
+            def pump(conn):
+                if conn.poll(1.0):
+                    return conn.recv()
+                return None
+            """
+        )
+        assert findings == []
+
+    def test_swallowed_base_exception_fires(self):
+        findings = lint_snippet(
+            """
+            def supervise(work):
+                try:
+                    work()
+                except BaseException:
+                    pass
+            """
+        )
+        assert codes(findings) == ["RL006"]
+
+    def test_reraised_base_exception_passes(self):
+        findings = lint_snippet(
+            """
+            def supervise(work, log):
+                try:
+                    work()
+                except BaseException:
+                    log.error("worker died")
+                    raise
+            """
+        )
+        assert findings == []
+
+    def test_plain_exception_handler_is_out_of_scope(self):
+        findings = lint_snippet(
+            """
+            def supervise(work):
+                try:
+                    work()
+                except Exception:
+                    return None
+            """
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# suppressions
+# --------------------------------------------------------------------- #
+SUPPRESSIBLE = """
+class Server:
+    def __init__(self):
+        self._latency_samples = []{comment}
+"""
+
+
+class TestSuppression:
+    def test_inline_disable(self):
+        source = SUPPRESSIBLE.format(comment="  # repolint: disable=RL005")
+        assert lint_snippet(source) == []
+
+    def test_disable_on_line_above(self):
+        findings = lint_snippet(
+            """
+            class Server:
+                def __init__(self):
+                    # repolint: disable=RL005 -- drained by the flush thread
+                    self._latency_samples = []
+            """
+        )
+        assert findings == []
+
+    def test_disable_on_def_line_covers_the_body(self):
+        findings = lint_snippet(
+            """
+            def pump(conn):  # repolint: disable=RL006
+                return conn.recv()
+            """
+        )
+        assert findings == []
+
+    def test_disable_file(self):
+        findings = lint_snippet(
+            """
+            # repolint: disable-file=RL005 -- telemetry fixtures
+            class Server:
+                def __init__(self):
+                    self._latency_samples = []
+            """
+        )
+        assert findings == []
+
+    def test_wrong_code_does_not_suppress(self):
+        source = SUPPRESSIBLE.format(comment="  # repolint: disable=RL001")
+        assert codes(lint_snippet(source)) == ["RL005"]
+
+    def test_star_suppresses_everything(self):
+        source = SUPPRESSIBLE.format(comment="  # repolint: disable=*")
+        assert lint_snippet(source) == []
+
+
+# --------------------------------------------------------------------- #
+# registry, selection, findings
+# --------------------------------------------------------------------- #
+class TestEngine:
+    def test_all_six_rules_registered(self):
+        assert sorted(RULES) == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+        for rule_obj in RULES.values():
+            assert rule_obj.name and rule_obj.description
+
+    def test_select_filters_rules(self):
+        source = """
+        class Server:
+            def __init__(self):
+                self._latency_samples = []
+
+        def pump(conn):
+            return conn.recv()
+        """
+        assert codes(lint_snippet(source)) == ["RL005", "RL006"]
+        assert codes(lint_snippet(source, select=["RL006"])) == ["RL006"]
+
+    def test_finding_rendering(self):
+        finding = lint_snippet(SUPPRESSIBLE.format(comment=""))[0]
+        assert isinstance(finding, Finding)
+        rendered = finding.render()
+        assert "snippet.py" in rendered and "RL005" in rendered
+        payload = finding.as_dict()
+        assert payload["code"] == "RL005" and payload["line"] == finding.line
+
+
+# --------------------------------------------------------------------- #
+# the live tree and the CLI
+# --------------------------------------------------------------------- #
+class TestLiveTree:
+    def test_src_repro_is_clean(self):
+        assert lint_paths([str(REPO_ROOT / "src" / "repro")]) == []
+
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "tools.repolint", *argv],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self):
+        proc = run_cli("src/repro")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_violations_exit_one_with_json(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._latency_samples = []\n",
+            encoding="utf-8",
+        )
+        proc = run_cli(str(bad), "--format=json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert [finding["code"] for finding in payload] == ["RL005"]
+
+    def test_missing_path_exits_two(self, tmp_path):
+        proc = run_cli(str(tmp_path / "nope"))
+        assert proc.returncode == 2
+
+    def test_syntax_error_exits_two(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def (:\n", encoding="utf-8")
+        proc = run_cli(str(broken))
+        assert proc.returncode == 2
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+            assert code in proc.stdout
+
+
+class TestStylecheck:
+    def test_repo_is_stylecheck_clean(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.stylecheck", "src/repro", "tests", "benchmarks", "tools"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout
