@@ -22,9 +22,21 @@ Two ingestion routes are exposed:
   through one batched search.  ``observe`` is ``observe_batch`` with a batch
   of one, so the two paths cannot drift.
 
+Serving mirrors ingestion: :meth:`RealTimeServer.recommend_batch` is the
+canonical read path — a whole *window* of concurrent requests is validated
+up front, probed against the serving cache per request, and the remaining
+distinct users are scored through one
+:meth:`~repro.core.sccf.SCCF.score_items_batch` call.
+:meth:`RealTimeServer.recommend` is ``recommend_batch`` with a batch of one,
+so the live and coalesced paths cannot drift (the same batch-of-one rule the
+ingest side follows, machine-enforced by repolint's RL003).
+
 :class:`EventBuffer` sits in front of the server and turns an event-at-a-time
 producer (a clickstream, a message queue consumer) into micro-batches,
-flushing automatically every ``flush_size`` events.
+flushing automatically every ``flush_size`` events.  The *request*-side
+equivalent for live traffic — concurrent callers coalesced into
+``recommend_batch``/``observe_batch`` windows — is
+:class:`repro.serving.AsyncFrontend`.
 
 Cold-start users streamed in at serve time are *added* to the neighborhood
 pool (the index grows) instead of being silently excluded, so a brand-new
@@ -38,7 +50,7 @@ import numbers
 import time
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,6 +66,7 @@ __all__ = [
     "MaintenanceReport",
     "MaintenanceScheduler",
     "RealTimeServer",
+    "RecommendRequest",
     "EventBuffer",
 ]
 
@@ -111,6 +124,16 @@ class HealthReport:
     recommend_failures: int = 0
     #: recommends that finished after their deadline
     deadline_misses: int = 0
+    #: p50/p99 over the bounded per-request recommend window, in ms (``None``
+    #: before the first sample).  For requests admitted through the async
+    #: front-end the samples *include queue and window wait*, so these are
+    #: the honest SLO numbers an operator alarms on, not per-batch averages.
+    recommend_p50_ms: Optional[float] = None
+    recommend_p99_ms: Optional[float] = None
+    #: p50/p99 over the bounded per-request observe window, in ms — each
+    #: event's admission-to-flushed wall time, queue wait included
+    observe_p50_ms: Optional[float] = None
+    observe_p99_ms: Optional[float] = None
     maintenance_passes: int = 0
     maintenance_failures: int = 0
     #: serving-cache counters (None when no cache is attached)
@@ -160,6 +183,46 @@ class MaintenanceReport:
 class _UserState:
     history: List[int] = field(default_factory=list)
     embedding: Optional[np.ndarray] = None
+
+
+@dataclass
+class RecommendRequest:
+    """One serving request for :meth:`RealTimeServer.recommend_batch`.
+
+    ``start`` is the ``time.perf_counter()`` timestamp at which the request
+    was *admitted* — a queueing front-end stamps its enqueue time here, so
+    the recorded latency and the deadline check both include queue and
+    window wait.  ``None`` means "admitted now".  ``deadline_ms=None`` falls
+    back to the server's ``default_deadline_ms``.
+    """
+
+    user_id: int
+    k: int = 50
+    exclude_seen: bool = True
+    deadline_ms: Optional[float] = None
+    start: Optional[float] = None
+
+
+@dataclass
+class _PreparedRequest:
+    """A validated :class:`RecommendRequest` with defaults resolved."""
+
+    user_id: int
+    k: int
+    exclude_seen: bool
+    deadline_ms: Optional[float]
+    start: float
+
+
+def _window_percentiles(
+    window: Deque[float],
+) -> Tuple[Optional[float], Optional[float]]:
+    """(p50, p99) over a bounded latency window; ``(None, None)`` when empty."""
+
+    if not window:
+        return None, None
+    values = np.asarray(window, dtype=np.float64)
+    return float(np.percentile(values, 50)), float(np.percentile(values, 99))
 
 
 class RealTimeServer:
@@ -239,6 +302,12 @@ class RealTimeServer:
         #: recorded latencies, so ``average_latency`` reported ingestion cost
         #: as if it were the serving cost).
         self.recommend_latencies: Deque[float] = deque(maxlen=latency_window)
+        #: per-event observe wall latencies in ms (admission → flushed) — the
+        #: read path's ``recommend_latencies`` twin for the write path.  For
+        #: direct ``observe``/``observe_batch`` calls each event's sample is
+        #: the call's own wall time; the async front-end passes its enqueue
+        #: timestamps (``request_starts``) so queue wait is included.
+        self.observe_request_latencies: Deque[float] = deque(maxlen=latency_window)
         #: user ids of the most recent requests (observes + recommends) —
         #: the head-user population for post-retrain cache prefill
         self._recent_active: Deque[int] = deque(maxlen=activity_window)
@@ -265,8 +334,34 @@ class RealTimeServer:
         assert breakdown is not None  # non-empty batch always returns a breakdown
         return breakdown
 
+    def _validate_event(self, user_id: object, item_id: object) -> Tuple[int, int]:
+        """Vet one ``(user_id, item_id)`` pair at the request boundary.
+
+        The single definition behind :meth:`observe_batch`'s validate-first
+        loop, :meth:`EventBuffer.push`'s eager check, and the async
+        front-end's admission — so the three boundaries cannot drift.  The
+        cold-start grow path backs streamed ids with a dense block, so a
+        single huge id would allocate unboundedly much memory; it is
+        rejected here, before any state is touched.
+        """
+
+        user_id, item_id = _as_id(user_id, "user_id"), _as_id(item_id, "item_id")
+        if user_id < 0:
+            raise ValueError("user_id must be non-negative")
+        neighborhood = self.sccf.neighborhood
+        if user_id >= neighborhood.num_users + neighborhood.max_user_growth:
+            raise ValueError(
+                "user_id too far beyond the fitted range "
+                f"(cold-start growth capped at {neighborhood.max_user_growth})"
+            )
+        if not 0 <= item_id < self.num_items:
+            raise ValueError("item_id out of range")
+        return user_id, item_id
+
     def observe_batch(
-        self, events: Sequence[Tuple[int, int]]
+        self,
+        events: Sequence[Tuple[int, int]],
+        request_starts: Optional[Sequence[float]] = None,
     ) -> Optional[LatencyBreakdown]:
         """Ingest a micro-batch of ``(user_id, item_id)`` events at once.
 
@@ -282,25 +377,20 @@ class RealTimeServer:
         The final state is identical to feeding the same events one at a time
         through :meth:`observe` — only the amortized cost differs.  Returns
         the batch's latency breakdown, or ``None`` for an empty batch.
+
+        ``request_starts`` (one ``time.perf_counter()`` stamp per event)
+        lets a queueing front-end date each event back to its *admission*,
+        so the per-event samples in ``observe_request_latencies`` include
+        queue wait; direct callers omit it and each event is dated to this
+        call's entry.
         """
 
-        # The cold-start grow path backs streamed ids with a dense block, so a
-        # single huge id would allocate unboundedly much memory; reject it
-        # here, before any state is touched.
-        max_user_id = self.sccf.neighborhood.num_users + self.sccf.neighborhood.max_user_growth
+        entry = time.perf_counter()
+        if request_starts is not None and len(request_starts) != len(events):
+            raise ValueError("request_starts must have one entry per event")
         validated: List[Tuple[int, int]] = []
         for user_id, item_id in events:
-            user_id, item_id = _as_id(user_id, "user_id"), _as_id(item_id, "item_id")
-            if user_id < 0:
-                raise ValueError("user_id must be non-negative")
-            if user_id >= max_user_id:
-                raise ValueError(
-                    "user_id too far beyond the fitted range "
-                    f"(cold-start growth capped at {self.sccf.neighborhood.max_user_growth})"
-                )
-            if not 0 <= item_id < self.num_items:
-                raise ValueError("item_id out of range")
-            validated.append((user_id, item_id))
+            validated.append(self._validate_event(user_id, item_id))
         if not validated:
             return None
 
@@ -358,6 +448,12 @@ class RealTimeServer:
             num_events=len(validated),
         )
         self.latencies.append(breakdown)
+        # One wall-clock sample *per event*, not per window: SLO percentiles
+        # must not improve just because the front-end coalesced harder.
+        finish = time.perf_counter()
+        starts = request_starts if request_starts is not None else [entry] * len(validated)
+        for request_start in starts:
+            self.observe_request_latencies.append((finish - request_start) * 1000.0)
         if self.scheduler is not None:
             self.scheduler.notify(len(validated))
         return breakdown
@@ -442,7 +538,7 @@ class RealTimeServer:
         head = [user for user, _ in Counter(self._recent_active).most_common(num_users)]
         for user in head:
             state = self._states.get(user, _UserState())
-            self.sccf.score_items(user, history=state.history)
+            self.sccf.score_items_batch([user], histories=[state.history])
         return head
 
     # ------------------------------------------------------------------ #
@@ -485,69 +581,187 @@ class RealTimeServer:
         returned but counted in ``deadline_misses``.
         """
 
-        if k <= 0:
-            return []
-        start = time.perf_counter()
-        user_id = _as_id(user_id, "user_id")
+        return self.recommend_batch(
+            [
+                RecommendRequest(
+                    user_id=user_id, k=k, exclude_seen=exclude_seen, deadline_ms=deadline_ms
+                )
+            ]
+        )[0]
+
+    def _admit_recommend(self, request: RecommendRequest, now: float) -> _PreparedRequest:
+        """Validate one recommend request at the admission boundary.
+
+        Runs *before* any degenerate-``k`` early return (the old path
+        returned ``[]`` on ``k <= 0`` without ever looking at ``user_id`` or
+        ``deadline_ms``, so ``recommend(float("nan"), k=0, deadline_ms=-5)``
+        was silently accepted).  Shared with the async front-end so a
+        malformed request is rejected at enqueue time and can never poison a
+        coalesced window.
+        """
+
+        user_id = _as_id(request.user_id, "user_id")
+        k = _as_id(request.k, "k")
+        deadline_ms = request.deadline_ms
         if deadline_ms is None:
             deadline_ms = self.default_deadline_ms
         elif deadline_ms <= 0:
             raise ValueError("deadline_ms must be positive")
-        self._recent_active.append(user_id)
-        cache = self.sccf.cache
-        epoch = getattr(self.sccf.neighborhood.index, "epoch", None)
-        token = key = None
-        stale = MISS
-        if cache is not None and epoch is not None:
-            # The key carries everything non-monotonic the list depends on:
-            # the server serial (two servers sharing one SCCF hold different
-            # streamed histories under the same shared counters) and the
-            # scoring mode (set_mode() changes the ranking without touching
-            # any counter).  The token holds only monotonic counters.
-            token = self.sccf._serving_token(user_id, epoch)
-            key = (self._serial, user_id, k, exclude_seen, self.sccf.mode)
-            # Peek before get: a token-stale entry is *deleted* by the
-            # validated lookup, but it is exactly what the stale-serve
-            # fallback wants to hold on to should scoring fail below.
-            stale = cache.recommendations.peek(key)
-            value = cache.recommendations.get(key, token)
-            if value is not MISS:
-                self._finish_recommend(start, deadline_ms)
-                return list(value)
-        state = self._states.get(user_id, _UserState())
-        index = self.sccf.neighborhood.index
-        degraded_before = getattr(index, "degraded_requests", 0)
-        try:
-            scores = self.sccf.score_items(user_id, history=state.history)
-        except RuntimeError:
-            # Scoring is a pure read — the failure is the index's (all
-            # shards down, raise-policy outage), already recorded in its
-            # supervision state; answer stale-or-empty rather than letting a
-            # read take the caller down with the worker.
-            self.recommend_failures += 1
-            self._finish_recommend(start, deadline_ms)
-            if stale is not MISS:
-                self.served_stale += 1
-                return list(stale)
+        return _PreparedRequest(
+            user_id=user_id,
+            k=k,
+            exclude_seen=request.exclude_seen,
+            deadline_ms=deadline_ms,
+            start=now if request.start is None else request.start,
+        )
+
+    def _top_items(self, scores: np.ndarray, k: int) -> List[int]:
+        """Rank one masked score row into a finite top-``k`` id list.
+
+        ``top_k`` is clamped to the row length as well as the catalog size:
+        a server built over zero items, or an empty degraded score row,
+        yields ``[]`` here instead of crashing ``np.argpartition`` with
+        ``kth=-1``.
+        """
+
+        top_k = min(k, self.num_items, int(scores.size))
+        if top_k <= 0:
             return []
-        degraded = getattr(index, "degraded_requests", 0) != degraded_before
-        # In "sccf" mode non-candidates carry the finite _NEG_INF sentinel;
-        # mask them to -inf so they can never pad the result list.
-        scores = np.where(scores > _NEG_INF, scores, -np.inf)
-        if exclude_seen:
-            scores = exclude_seen_items(scores, state.history)
-        top_k = min(k, self.num_items)
         top = np.argpartition(-scores, kth=top_k - 1)[:top_k]
         ordered = top[np.argsort(-scores[top], kind="stable")]
-        result = [int(item) for item in ordered if np.isfinite(scores[item])]
-        if degraded:
-            # A survivors-only list is fine to serve once but must not be
-            # memoized: the token counters don't move when the shard heals.
-            self.served_degraded += 1
-        elif key is not None:
-            cache.recommendations.put(key, token, tuple(result))
-        self._finish_recommend(start, deadline_ms)
-        return result
+        return [int(item) for item in ordered if np.isfinite(scores[item])]
+
+    def recommend_batch(self, requests: Sequence[RecommendRequest]) -> List[List[int]]:
+        """Serve a window of recommend requests through one batched scoring pass.
+
+        The canonical read path — :meth:`recommend` is this with a window of
+        one, and the async front-end (:class:`repro.serving.AsyncFrontend`)
+        builds its windows here.  Per request, the semantics match the
+        sequential loop exactly: validation first (a bad request raises
+        before *any* request in the window is served), then the cache
+        peek-then-get, then the full → degraded → stale → empty fallback
+        chain, with one latency sample and one potential deadline miss per
+        request.  What the window amortizes is the scoring pass: all
+        cache-missing requests share a single ``score_items_batch`` call,
+        deduplicated per user (two requests for the same user rank the same
+        score row — exactly what the sequential loop's second iteration
+        would have recomputed or read back from the cache).
+
+        Requests whose deadline has already expired by window-build time
+        (``start`` predates ``now`` by more than ``deadline_ms`` — queue
+        wait under an overloaded front-end) skip the scoring pass entirely
+        and short-circuit to the stale/empty tail of the fallback chain:
+        scoring work the caller has already given up on only adds latency
+        for everyone behind it.
+
+        Degenerate ``k <= 0`` requests return ``[]`` *after* validation and
+        do count a latency sample: they were admitted work, and under the
+        front-end their sample carries real queue wait — dropping it would
+        flatter the percentiles.
+        """
+
+        now = time.perf_counter()
+        prepared = [self._admit_recommend(request, now) for request in requests]
+        results: List[Optional[List[int]]] = [None] * len(prepared)
+        cache = self.sccf.cache
+        epoch = getattr(self.sccf.neighborhood.index, "epoch", None)
+        keys: List[Optional[Tuple[int, int, int, bool, str]]] = [None] * len(prepared)
+        tokens: List[Optional[Tuple[int, int, int]]] = [None] * len(prepared)
+        stales: List[Any] = [MISS] * len(prepared)
+        pending: List[int] = []
+        for i, req in enumerate(prepared):
+            self._recent_active.append(req.user_id)
+            if req.k <= 0:
+                results[i] = []
+                self._finish_recommend(req.start, req.deadline_ms)
+                continue
+            if cache is not None and epoch is not None:
+                # The key carries everything non-monotonic the list depends
+                # on: the server serial (two servers sharing one SCCF hold
+                # different streamed histories under the same shared
+                # counters) and the scoring mode (set_mode() changes the
+                # ranking without touching any counter).  The token holds
+                # only monotonic counters.
+                token = self.sccf._serving_token(req.user_id, epoch)
+                key = (self._serial, req.user_id, req.k, req.exclude_seen, self.sccf.mode)
+                # Peek before get: a token-stale entry is *deleted* by the
+                # validated lookup, but it is exactly what the stale-serve
+                # fallback wants to hold on to should scoring fail below.
+                stales[i] = cache.recommendations.peek(key)
+                value = cache.recommendations.get(key, token)
+                keys[i], tokens[i] = key, token
+                if value is not MISS:
+                    results[i] = list(value)
+                    self._finish_recommend(req.start, req.deadline_ms)
+                    continue
+            if req.deadline_ms is not None and (now - req.start) * 1000.0 > req.deadline_ms:
+                # Expired while queued: no scoring slot, straight to the
+                # stale/empty tail (the miss is counted by _finish_recommend).
+                if stales[i] is not MISS:
+                    self.served_stale += 1
+                    results[i] = list(stales[i])
+                else:
+                    results[i] = []
+                self._finish_recommend(req.start, req.deadline_ms)
+                continue
+            pending.append(i)
+        if pending:
+            rows: Dict[int, int] = {}
+            for i in pending:
+                rows.setdefault(prepared[i].user_id, len(rows))
+            users = list(rows)
+            histories = [self._states.get(user, _UserState()).history for user in users]
+            index = self.sccf.neighborhood.index
+            degraded_before = getattr(index, "degraded_requests", 0)
+            try:
+                score_rows = self.sccf.score_items_batch(users, histories=histories)
+            except RuntimeError:
+                # Scoring is a pure read — the failure is the index's (all
+                # shards down, raise-policy outage), already recorded in its
+                # supervision state; answer stale-or-empty rather than
+                # letting a read take the callers down with the worker.
+                for i in pending:
+                    self.recommend_failures += 1
+                    if stales[i] is not MISS:
+                        self.served_stale += 1
+                        results[i] = list(stales[i])
+                    else:
+                        results[i] = []
+                    self._finish_recommend(prepared[i].start, prepared[i].deadline_ms)
+            else:
+                degraded = getattr(index, "degraded_requests", 0) != degraded_before
+                # Duplicate (user, k, exclude_seen) requests rank once and
+                # share the list — the sequential loop's later duplicates
+                # would have recomputed the identical ranking (or read it
+                # back from the cache), so the outputs cannot differ.
+                ranked: Dict[Tuple[int, int, bool], List[int]] = {}
+                for i in pending:
+                    req = prepared[i]
+                    group = (req.user_id, req.k, req.exclude_seen)
+                    result = ranked.get(group)
+                    if result is None:
+                        # In "sccf" mode non-candidates carry the finite
+                        # _NEG_INF sentinel; mask them to -inf so they can
+                        # never pad the result list.
+                        scores = score_rows[rows[req.user_id]]
+                        scores = np.where(scores > _NEG_INF, scores, -np.inf)
+                        if req.exclude_seen:
+                            history = self._states.get(req.user_id, _UserState()).history
+                            scores = exclude_seen_items(scores, history)
+                        result = self._top_items(scores, req.k)
+                        ranked[group] = result
+                    else:
+                        result = list(result)
+                    if degraded:
+                        # A survivors-only list is fine to serve once but
+                        # must not be memoized: the token counters don't move
+                        # when the shard heals.
+                        self.served_degraded += 1
+                    elif keys[i] is not None and cache is not None:
+                        cache.recommendations.put(keys[i], tokens[i], tuple(result))
+                    results[i] = result
+                    self._finish_recommend(req.start, req.deadline_ms)
+        return [[] if result is None else result for result in results]
 
     def _finish_recommend(self, start: float, deadline_ms: Optional[float]) -> None:
         elapsed_ms = (time.perf_counter() - start) * 1000.0
@@ -569,6 +783,8 @@ class RealTimeServer:
         healthy = bool(getattr(index, "healthy", True))
         stats = self.sccf.cache_stats()
         scheduler = self.scheduler
+        recommend_p50, recommend_p99 = _window_percentiles(self.recommend_latencies)
+        observe_p50, observe_p99 = _window_percentiles(self.observe_request_latencies)
         return HealthReport(
             healthy=healthy,
             shards=shards,
@@ -579,6 +795,10 @@ class RealTimeServer:
             served_stale=self.served_stale,
             recommend_failures=self.recommend_failures,
             deadline_misses=self.deadline_misses,
+            recommend_p50_ms=recommend_p50,
+            recommend_p99_ms=recommend_p99,
+            observe_p50_ms=observe_p50,
+            observe_p99_ms=observe_p99,
             maintenance_passes=scheduler.passes_run if scheduler is not None else 0,
             maintenance_failures=(
                 scheduler.maintenance_failures if scheduler is not None else 0
@@ -765,29 +985,28 @@ class EventBuffer:
     def push(self, user_id: int, item_id: int) -> Optional[LatencyBreakdown]:
         """Buffer one event; returns the flush breakdown if this push flushed."""
 
-        user_id, item_id = _as_id(user_id, "user_id"), _as_id(item_id, "item_id")
-        if user_id < 0:
-            raise ValueError("user_id must be non-negative")
-        neighborhood = self.server.sccf.neighborhood
-        if user_id >= neighborhood.num_users + neighborhood.max_user_growth:
-            raise ValueError(
-                "user_id too far beyond the fitted range "
-                f"(cold-start growth capped at {neighborhood.max_user_growth})"
-            )
-        if not 0 <= item_id < self.server.num_items:
-            raise ValueError("item_id out of range")
-        self._events.append((user_id, item_id))
+        self._events.append(self.server._validate_event(user_id, item_id))
         if len(self._events) >= self.flush_size:
             return self.flush()
         return None
 
     def flush(self) -> Optional[LatencyBreakdown]:
-        """Drain the buffer through ``observe_batch``; ``None`` when empty."""
+        """Drain the buffer through ``observe_batch``; ``None`` when empty.
+
+        A failing flush (a contained maintenance failure propagating, a
+        worker outage under ``failure_policy="raise"``) puts the whole
+        micro-batch back at the *front* of the buffer before re-raising, so
+        a retrying caller loses nothing and later pushes keep their order.
+        """
 
         if not self._events:
             return None
         events, self._events = self._events, []
-        return self.server.observe_batch(events)
+        try:
+            return self.server.observe_batch(events)
+        except BaseException:
+            self._events = events + self._events
+            raise
 
     def __len__(self) -> int:
         return len(self._events)

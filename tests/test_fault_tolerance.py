@@ -406,7 +406,9 @@ class TestServingStackFaults:
         def explode(*args, **kwargs):
             raise RuntimeError("all shards down")
 
-        server.sccf.score_items = explode
+        # recommend routes through the batched canonical, so that's the
+        # surface a scoring outage reaches first
+        server.sccf.score_items_batch = explode
         try:
             stale = server.recommend(user, k=5)
             assert stale == baseline
@@ -415,7 +417,7 @@ class TestServingStackFaults:
             assert server.recommend(tiny_dataset.num_users - 1, k=5) == []
             assert server.recommend_failures == 2 and server.served_stale == 1
         finally:
-            del server.sccf.score_items
+            del server.sccf.score_items_batch
         assert server.recommend(user, k=5) == server.recommend(user, k=5)  # recovered
 
     def test_request_ids_are_hardened(self, fault_server):

@@ -142,6 +142,37 @@ class TestEventBuffer:
         assert len(buffer) == 0
         assert server.history(user)[-2:] == [4, 5]
 
+    def test_failed_flush_restores_events(self, tiny_dataset, trained_fism):
+        # A failing observe_batch (worker outage under failure_policy="raise",
+        # a propagating maintenance error) must put the micro-batch back so a
+        # retrying caller loses nothing — the old code swapped the list out
+        # first and silently dropped it.
+        server = _fresh_server(tiny_dataset, trained_fism)
+        user = tiny_dataset.evaluation_users()[0]
+        buffer = EventBuffer(server, flush_size=10)
+        buffer.push(user, 0)
+        buffer.push(user, 1)
+
+        original = server.observe_batch
+
+        def explode(events, request_starts=None):
+            raise RuntimeError("all shards down")
+
+        server.observe_batch = explode
+        with pytest.raises(RuntimeError, match="all shards down"):
+            buffer.flush()
+        # nothing lost, order preserved, later pushes queue *behind* the
+        # restored batch
+        assert buffer.pending == [(user, 0), (user, 1)]
+        buffer.push(user, 2)
+        assert buffer.pending == [(user, 0), (user, 1), (user, 2)]
+
+        server.observe_batch = original
+        breakdown = buffer.flush()
+        assert breakdown is not None and breakdown.num_events == 3
+        assert len(buffer) == 0
+        assert server.history(user)[-3:] == [0, 1, 2]
+
 
 class TestObserveBatchParity:
     def test_batch_matches_sequential_bit_exact(self, tiny_dataset, trained_fism):
