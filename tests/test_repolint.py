@@ -285,6 +285,53 @@ class TestBatchOfOne:
         )
         assert findings == []
 
+    def test_recommend_is_a_tracked_pair(self):
+        findings = lint_snippet(
+            """
+            class Server:
+                def recommend_batch(self, requests):
+                    return [[] for _ in requests]
+
+                def recommend(self, user_id, k=50):
+                    try:
+                        return self.recommend_batch([(user_id, k)])[0]
+                    except RuntimeError:
+                        return []
+            """
+        )
+        assert codes(findings) == ["RL003"]
+        assert "try block" in findings[0].message
+
+    def test_frontend_bypassing_held_batch_path_fires(self):
+        # A front-end that routes windows through server.recommend_batch must
+        # not sneak a per-request helper onto server.recommend.
+        findings = lint_snippet(
+            """
+            class Frontend:
+                def _execute(self, window):
+                    return self.server.recommend_batch(window)
+
+                async def recommend(self, user_id, k):
+                    return self.server.recommend(user_id, k)
+            """
+        )
+        assert codes(findings) == ["RL003"]
+        assert "single-path bypass" in findings[0].message
+        assert "self.server.recommend" in findings[0].message
+
+    def test_frontend_on_the_coalesced_path_passes(self):
+        findings = lint_snippet(
+            """
+            class Frontend:
+                def _execute(self, window):
+                    return self.server.recommend_batch(window)
+
+                async def recommend(self, user_id, k):
+                    return await self._enqueue((user_id, k))
+            """
+        )
+        assert findings == []
+
 
 # --------------------------------------------------------------------- #
 # RL004 — degraded-not-cached

@@ -288,6 +288,7 @@ BATCH_WRAPPERS = {
     "observe": "observe_batch",
     "update_user": "update_users",
     "score_items": "score_items_batch",
+    "recommend": "recommend_batch",
 }
 
 _WRAPPER_FORBIDDEN = (ast.For, ast.AsyncFor, ast.While, ast.Try, ast.With)
@@ -303,6 +304,22 @@ def _self_method_calls(func_node: ast.FunctionDef) -> Set[str]:
             and node.func.value.id == "self"
         ):
             calls.add(node.func.attr)
+    return calls
+
+
+def _held_delegate_calls(func_node: ast.FunctionDef) -> Set[Tuple[str, str]]:
+    """Calls of the form ``self.<held>.<method>(...)`` as ``(held, method)`` pairs."""
+
+    calls: Set[Tuple[str, str]] = set()
+    for node in ast.walk(func_node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Attribute)
+            and isinstance(node.func.value.value, ast.Name)
+            and node.func.value.value.id == "self"
+        ):
+            calls.add((node.func.value.attr, node.func.attr))
     return calls
 
 
@@ -368,6 +385,46 @@ def check_batch_of_one(module: Module, run: LintRun) -> Iterator[Hit]:
                         ),
                         wrapper,
                     )
+            # Front-end clause: a class that routes an operation through a
+            # *held* object's batch canonical (``self.server.observe_batch``,
+            # ``self.sccf.score_items_batch``, ...) must never also call that
+            # object's single-item wrapper.  A per-request helper that
+            # "simplifies" into the single path silently forfeits coalescing
+            # for every request it serves — the front-end's helpers must stay
+            # batch-of-one consumers of the window machinery.
+            held_calls = {
+                name: _held_delegate_calls(fn) for name, fn in info.methods().items()
+            }
+            batch_held: Set[Tuple[str, str, str]] = set()
+            for calls_pairs in held_calls.values():
+                for held, method in calls_pairs:
+                    for wrapper_name, canonical in BATCH_WRAPPERS.items():
+                        if method == canonical:
+                            batch_held.add((held, wrapper_name, canonical))
+            for name, fn in info.methods().items():
+                for held, wrapper_name, canonical in sorted(batch_held):
+                    if (held, wrapper_name) in held_calls[name]:
+                        yield (
+                            Finding(
+                                path=module.path,
+                                line=fn.lineno,
+                                col=fn.col_offset,
+                                code="RL003",
+                                message=(
+                                    f"{info.name}.{name} calls "
+                                    f"self.{held}.{wrapper_name} although the "
+                                    f"class routes through "
+                                    f"self.{held}.{canonical} — single-path "
+                                    "bypass of the batched window"
+                                ),
+                                fixit=(
+                                    f"call self.{held}.{canonical} with a "
+                                    "batch of one instead, so every request "
+                                    "stays on the coalesced path"
+                                ),
+                            ),
+                            fn,
+                        )
 
 
 # ---------------------------------------------------------------------- #
