@@ -1,0 +1,12 @@
+"""Asyncio serving layer: cross-request micro-batching for live traffic.
+
+:class:`AsyncFrontend` is the serve-side mirror of the ingest-side
+``EventBuffer``: concurrent callers await ``recommend``/``observe``
+coroutines, and a coalescer turns that concurrency into batch width by
+draining bounded per-operation queues into
+``RealTimeServer.recommend_batch`` / ``observe_batch`` windows.
+"""
+
+from .frontend import AsyncFrontend, FrontendStats, QueueFull
+
+__all__ = ["AsyncFrontend", "FrontendStats", "QueueFull"]
