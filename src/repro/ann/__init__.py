@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
 
@@ -27,6 +27,7 @@ __all__ = [
     "top_k_rows",
     "search_batch",
     "update_batch",
+    "restore_index",
     "cosine_similarity",
     "inner_product",
     "normalize_rows",
@@ -79,6 +80,29 @@ def search_batch(
         )
         for row in range(len(queries))
     ]
+
+
+#: ``snapshot_state()["kind"]`` → the class whose ``restore_state`` rebuilds it.
+_RESTORERS = {
+    "brute_force": BruteForceIndex,
+    "ivf": IVFIndex,
+    "sharded": ShardedIndex,
+    "process_sharded": ProcessShardedIndex,
+}
+
+
+def restore_index(state: Dict[str, Any]) -> Any:
+    """Rebuild any backend index from its ``snapshot_state()`` tree.
+
+    Dispatches on the ``kind`` tag each backend writes; the restored index
+    serves bit-identically to the one that was saved.
+    """
+
+    kind = state.get("kind")
+    restorer = _RESTORERS.get(kind)
+    if restorer is None:
+        raise ValueError(f"unknown index snapshot kind {kind!r}")
+    return restorer.restore_state(state)
 
 
 def update_batch(index: NeighborIndex, positions: Sequence[int], vectors: np.ndarray) -> None:

@@ -277,6 +277,58 @@ class BruteForceIndex:
         return 0 if self._vectors is None else self._vectors.shape[1]
 
     # ------------------------------------------------------------------ #
+    # cloning / persistence (blue-green maintenance and snapshots)
+    # ------------------------------------------------------------------ #
+    def clone(self) -> "BruteForceIndex":
+        """Deep-copy the index into a detached shadow (same rows, ids, epoch).
+
+        The shadow shares no mutable state with the live index: the
+        maintenance path retrains the clone while the original keeps
+        serving, then publishes it with a single reference swap.
+        """
+
+        other = BruteForceIndex(metric=self.metric, dtype=self.dtype)
+        other.epoch = self.epoch
+        if self._vectors is not None:
+            other._vectors = self._vectors.copy()
+            other._normalized = (
+                other._vectors
+                if self._normalized is self._vectors
+                else self._normalized.copy()
+            )
+            other._ids = self._ids.copy()
+        return other
+
+    def snapshot_state(self) -> dict:
+        """Serializable state tree for :mod:`repro.core.snapshot`."""
+
+        if self._vectors is None:
+            raise RuntimeError("index has not been built")
+        return {
+            "kind": "brute_force",
+            "meta": {
+                "metric": self.metric,
+                "dtype": self.dtype.name,
+                "epoch": self.epoch,
+            },
+            "arrays": {"vectors": self._vectors, "ids": self._ids},
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "BruteForceIndex":
+        """Rebuild an index from :meth:`snapshot_state` output, bit-identically.
+
+        The saved vectors were already cast to the index dtype at build time,
+        so rebuilding re-derives the exact same normalized matrix.
+        """
+
+        meta = state["meta"]
+        index = cls(metric=meta["metric"], dtype=np.dtype(meta["dtype"]))
+        index.build(state["arrays"]["vectors"], ids=state["arrays"]["ids"])
+        index.epoch = int(meta["epoch"])
+        return index
+
+    # ------------------------------------------------------------------ #
     # querying
     # ------------------------------------------------------------------ #
     def _prepare_queries(self, queries: np.ndarray) -> np.ndarray:

@@ -131,6 +131,10 @@ class IVFIndex:
     def size(self) -> int:
         return 0 if self._vectors is None else len(self._vectors)
 
+    @property
+    def dim(self) -> int:
+        return 0 if self._vectors is None else self._vectors.shape[1]
+
     def build(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> "IVFIndex":
         vectors = np.asarray(vectors, dtype=self.dtype)
         if vectors.ndim != 2:
@@ -198,6 +202,89 @@ class IVFIndex:
         self._recluster(num_iterations=num_iterations)
         self.epoch += 1
         return self
+
+    # ------------------------------------------------------------------ #
+    # cloning / persistence (blue-green maintenance and snapshots)
+    # ------------------------------------------------------------------ #
+    def clone(self) -> "IVFIndex":
+        """Deep-copy into a detached shadow, including the RNG stream position.
+
+        Copying the bit-generator state is what makes a shadow
+        :meth:`retrain` consume the exact random draws an in-place retrain
+        would have — the publish is bit-identical by construction.
+        """
+
+        other = IVFIndex(
+            num_cells=self.num_cells,
+            n_probe=self.n_probe,
+            dtype=self.dtype,
+            retrain_threshold=self.retrain_threshold,
+        )
+        other.epoch = self.epoch
+        other._rng.bit_generator.state = self._rng.bit_generator.state
+        if self._vectors is not None:
+            other._vectors = self._vectors.copy()
+            other._normalized = self._normalized.copy()
+            other._ids = self._ids.copy()
+            other._centroids = self._centroids.copy()
+            other._assignments = self._assignments.copy()
+            other._cells = {cell: set(members) for cell, members in self._cells.items()}
+            other._cell_arrays = {}
+        return other
+
+    def snapshot_state(self) -> dict:
+        """Serializable state tree for :mod:`repro.core.snapshot`.
+
+        Cells are derived from ``assignments`` on restore; the RNG
+        bit-generator state rides along so post-restore retrains replay the
+        same stream the saved server would have drawn.
+        """
+
+        if self._vectors is None:
+            raise RuntimeError("index has not been built")
+        return {
+            "kind": "ivf",
+            "meta": {
+                "num_cells": self.num_cells,
+                "n_probe": self.n_probe,
+                "dtype": self.dtype.name,
+                "retrain_threshold": self.retrain_threshold,
+                "epoch": self.epoch,
+                "rng_state": self._rng.bit_generator.state,
+            },
+            "arrays": {
+                "vectors": self._vectors,
+                "ids": self._ids,
+                "centroids": self._centroids,
+                "assignments": self._assignments,
+            },
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "IVFIndex":
+        """Rebuild from :meth:`snapshot_state` output without re-running k-means."""
+
+        meta = state["meta"]
+        index = cls(
+            num_cells=int(meta["num_cells"]),
+            n_probe=int(meta["n_probe"]),
+            dtype=np.dtype(meta["dtype"]),
+            retrain_threshold=meta["retrain_threshold"],
+        )
+        arrays = state["arrays"]
+        vectors = np.asarray(arrays["vectors"], dtype=index.dtype)
+        index._vectors = vectors.copy()
+        index._normalized = normalize_rows(vectors).astype(index.dtype, copy=False)
+        index._ids = np.asarray(arrays["ids"], dtype=np.int64).copy()
+        check_new_ids(None, index._ids)
+        index._centroids = np.asarray(arrays["centroids"], dtype=np.float64).copy()
+        index._assignments = np.asarray(arrays["assignments"], dtype=np.int64).copy()
+        index._cells = {}
+        for position, cell in enumerate(index._assignments):
+            index._cells.setdefault(int(cell), set()).add(position)
+        index._rng.bit_generator.state = meta["rng_state"]
+        index.epoch = int(meta["epoch"])
+        return index
 
     def _cell_positions(self, cell: int) -> np.ndarray:
         """Sorted member positions of ``cell``, cached until the cell changes."""

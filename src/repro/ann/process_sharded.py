@@ -615,8 +615,22 @@ class ProcessShardedIndex(ScatterGatherMixin):
         if len(new_ids) != len(vectors):
             raise ValueError("ids must match the number of vectors")
         check_new_ids(None, new_ids)
+        self._install_rows(self._prepare_rows(vectors), new_ids)
+        self.epoch += 1
+        return self
 
-        dim = int(vectors.shape[1])
+    def _install_rows(self, normalized: np.ndarray, new_ids: np.ndarray) -> None:
+        """Deal *already prepared* rows into the shared segments and (re)attach.
+
+        The shared store holds rows post-``prepare_rows`` — cast and, for
+        cosine, normalized.  Snapshot restore feeds the persisted prepared
+        rows straight back through here (re-normalizing normalized float32
+        rows is not bit-stable), which is why preparation stays in the
+        callers.  Does not bump ``epoch`` — callers decide (``build`` bumps,
+        restore pins the saved epoch).
+        """
+
+        dim = int(normalized.shape[1])
         if self._matrices and dim != self._dim:
             # Segment width changed: retire every old store, start fresh.
             for matrix in self._matrices:
@@ -625,7 +639,6 @@ class ProcessShardedIndex(ScatterGatherMixin):
         self._dim = dim
         self._ids = new_ids
         self._id_order = None
-        normalized = self._prepare_rows(vectors)
 
         if not self._matrices:
             self._matrices = [
@@ -672,8 +685,61 @@ class ProcessShardedIndex(ScatterGatherMixin):
             slot = self._slots[shard]
             slot.acked_meta = self._meta_names(shard)
             self._matrices[shard].release_retired()
-        self.epoch += 1
-        return self
+
+    # ------------------------------------------------------------------ #
+    # persistence (snapshot save / cold-start restore)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """Serializable state tree for :mod:`repro.core.snapshot`.
+
+        Rows are copied out of the shared segments in global order, *as
+        stored* (already prepared); :meth:`restore_state` installs them
+        without re-preparation so the round-trip is bit-identical.
+        """
+
+        self._require_open()
+        if self._ids is None:
+            raise RuntimeError("index has not been built")
+        vectors = np.empty((len(self._ids), self._dim), dtype=self.dtype)
+        for shard, matrix in enumerate(self._matrices):
+            shard_rows, _ = matrix.snapshot_rows()
+            vectors[shard :: self.num_shards] = shard_rows
+        return {
+            "kind": "process_sharded",
+            "meta": {
+                "num_shards": self.num_shards,
+                "metric": self.metric,
+                "dtype": self.dtype.name,
+                "failure_policy": self.failure_policy,
+                "epoch": self.epoch,
+            },
+            "arrays": {"vectors": vectors, "ids": self._ids},
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "ProcessShardedIndex":
+        """Cold-start a worker pool from :meth:`snapshot_state` output.
+
+        Spawns fresh workers over fresh shared segments holding the exact
+        persisted bytes; supervision knobs take their defaults.
+        """
+
+        meta = state["meta"]
+        index = cls(
+            num_shards=int(meta["num_shards"]),
+            metric=meta["metric"],
+            dtype=np.dtype(meta["dtype"]),
+            failure_policy=meta["failure_policy"],
+        )
+        arrays = state["arrays"]
+        new_ids = np.asarray(arrays["ids"], dtype=np.int64).copy()
+        check_new_ids(None, new_ids)
+        prepared = np.asarray(arrays["vectors"], dtype=index.dtype).copy()
+        if prepared.ndim != 2 or len(prepared) != len(new_ids) or not len(prepared):
+            raise ValueError("snapshot rows and ids are inconsistent")
+        index._install_rows(prepared, new_ids)
+        index.epoch = int(meta["epoch"])
+        return index
 
     def update(self, position: int, vector: np.ndarray) -> None:
         """Replace one row on its owning shard (batch-of-one ``update_batch``)."""

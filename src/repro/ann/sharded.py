@@ -432,6 +432,91 @@ class ShardedIndex(ScatterGatherMixin):
         self.epoch += 1
         return self
 
+    # ------------------------------------------------------------------ #
+    # cloning / persistence (blue-green maintenance and snapshots)
+    # ------------------------------------------------------------------ #
+    def clone(self) -> "ShardedIndex":
+        """Deep-copy into a detached shadow by cloning every shard backend.
+
+        The shadow shares the factory and policy but no rows, ids, or
+        executor with the live index — shadow retrains cannot disturb
+        serving.  Requires every shard backend to support ``clone()``.
+        """
+
+        for shard in self._shards:
+            if not hasattr(shard, "clone"):
+                raise TypeError(
+                    f"shard backend {type(shard).__name__} does not support clone()"
+                )
+        other = ShardedIndex(
+            num_shards=self.num_shards,
+            shard_factory=self._shard_factory,
+            num_threads=self.num_threads,
+            failure_policy=self.failure_policy,
+        )
+        other.epoch = self.epoch
+        other.degraded_requests = self.degraded_requests
+        other._shards = [shard.clone() for shard in self._shards]
+        other._ids = None if self._ids is None else self._ids.copy()
+        other._dim = self._dim
+        return other
+
+    def snapshot_state(self) -> dict:
+        """Serializable state tree: per-shard child states plus the global deal."""
+
+        if self._ids is None:
+            raise RuntimeError("index has not been built")
+        children = []
+        for shard in self._shards:
+            if getattr(shard, "size", 0):
+                children.append(shard.snapshot_state())
+            else:
+                children.append(None)  # shard left empty at build (N < num_shards)
+        return {
+            "kind": "sharded",
+            "meta": {
+                "num_shards": self.num_shards,
+                "num_threads": self.num_threads,
+                "failure_policy": self.failure_policy,
+                "epoch": self.epoch,
+            },
+            "arrays": {"ids": self._ids},
+            "children": children,
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "ShardedIndex":
+        """Rebuild from :meth:`snapshot_state` output, shard by shard.
+
+        The restored index keeps the default shard factory — a later
+        ``build`` would produce brute-force shards — but the restored shards
+        themselves come back exactly as saved (including IVF cell layouts).
+        """
+
+        from . import restore_index
+
+        meta = state["meta"]
+        index = cls(
+            num_shards=int(meta["num_shards"]),
+            num_threads=meta["num_threads"],
+            failure_policy=meta["failure_policy"],
+        )
+        shards: List[object] = []
+        dim = 0
+        for child in state["children"]:
+            if child is None:
+                shards.append(index._shard_factory())
+                continue
+            restored = restore_index(child)
+            shards.append(restored)
+            dim = getattr(restored, "dim", dim) or dim
+        index._shards = shards
+        index._ids = np.asarray(state["arrays"]["ids"], dtype=np.int64).copy()
+        check_new_ids(None, index._ids)
+        index._dim = int(dim)
+        index.epoch = int(meta["epoch"])
+        return index
+
     @property
     def retrain_threshold(self) -> Optional[float]:
         """Most conservative (smallest) ``retrain_threshold`` across the shards.

@@ -147,6 +147,17 @@ class SharedMatrix:
 
         self.size = 0
 
+    def snapshot_rows(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Private copies of the live ``(rows, ids)`` for snapshot persistence.
+
+        Copies, not views: snapshot serialization happens while workers may
+        still be writing result buffers elsewhere, and the returned arrays
+        must stay valid after the segments are closed or regrown.
+        """
+
+        vectors, ids = self.view()
+        return vectors.copy(), ids.copy()
+
     def append(
         self, vectors: np.ndarray, ids: Sequence[int]
     ) -> Optional[Dict[str, object]]:

@@ -350,6 +350,25 @@ class ServingCache:
         self.recommendations = LRUCache("recommendations", capacity)
         self._owner: Optional[weakref.ref] = None
 
+    def snapshot_config(self) -> Dict[str, Any]:
+        """Cache-free configuration for snapshot persistence.
+
+        Snapshots never persist cache *entries* — they are derivable state
+        that the restored server re-warms (``prefill_cache``) — only the
+        shape needed to rebuild an equivalent empty cache.
+        """
+
+        return {"capacity": self.capacity, "max_score_bytes": self.max_score_bytes}
+
+    @classmethod
+    def from_config(cls, config: Dict[str, Any]) -> "ServingCache":
+        """Rebuild an empty cache from :meth:`snapshot_config` output."""
+
+        return cls(
+            capacity=int(config["capacity"]),
+            max_score_bytes=config.get("max_score_bytes"),
+        )
+
     def bind(self, owner: object) -> None:
         """Claim this cache for ``owner`` (one SCCF stack per cache).
 

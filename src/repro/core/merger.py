@@ -424,6 +424,82 @@ class IntegratingMLP:
             logits = logits + (score_block * skip).sum(axis=1)
         return logits
 
+    # ------------------------------------------------------------------ #
+    # snapshot persistence
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """Serializable state tree for :mod:`repro.core.snapshot`.
+
+        Covers the trained weights (network + skip path), every constructor
+        hyperparameter, the ``generation`` counter, and whether a frozen
+        serving snapshot was active — :meth:`restore_state` rebuilds the
+        frozen NumPy fast path from the restored weights.
+        """
+
+        arrays = {
+            f"network.{name}": value for name, value in self.network.state_dict().items()
+        }
+        arrays["skip_weights"] = self.skip_weights.data.copy()
+        return {
+            "meta": {
+                "embedding_dim": self.embedding_dim,
+                "hidden_dims": list(self.hidden_dims),
+                "dropout": self.dropout,
+                "learning_rate": self.learning_rate,
+                "weight_decay": self.weight_decay,
+                "num_epochs": self.num_epochs,
+                "batch_size": self.batch_size,
+                "negatives_per_positive": self.negatives_per_positive,
+                "validation_fraction": self.validation_fraction,
+                "patience": self.patience,
+                "score_skip": self.score_skip,
+                "seed": self.seed,
+                "generation": self.generation,
+                "frozen": self._frozen is not None,
+            },
+            "arrays": arrays,
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "IntegratingMLP":
+        """Rebuild a trained merger from :meth:`snapshot_state` output.
+
+        The restored instance serves bit-identically: the exact saved
+        weights land in the network, the skip path, and (when the saved
+        merger was frozen) a rebuilt frozen snapshot, without bumping
+        ``generation`` past its saved value.
+        """
+
+        meta = state["meta"]
+        merger = cls(
+            embedding_dim=int(meta["embedding_dim"]),
+            hidden_dims=tuple(meta["hidden_dims"]),
+            dropout=meta["dropout"],
+            learning_rate=meta["learning_rate"],
+            weight_decay=meta["weight_decay"],
+            num_epochs=int(meta["num_epochs"]),
+            batch_size=int(meta["batch_size"]),
+            negatives_per_positive=int(meta["negatives_per_positive"]),
+            validation_fraction=meta["validation_fraction"],
+            patience=int(meta["patience"]),
+            score_skip=bool(meta["score_skip"]),
+            seed=int(meta["seed"]),
+        )
+        arrays = state["arrays"]
+        merger.network.load_state_dict(
+            {
+                name[len("network."):]: value
+                for name, value in arrays.items()
+                if name.startswith("network.")
+            }
+        )
+        merger.skip_weights.data = np.asarray(arrays["skip_weights"], dtype=np.float64).copy()
+        merger.network.eval()
+        if bool(meta["frozen"]):
+            merger.freeze(_lazy=True)
+        merger.generation = int(meta["generation"])
+        return merger
+
     def predict(self, features: CandidateFeatures) -> np.ndarray:
         """Fused scores ``r̂^fi`` for one user's candidate items (same order).
 

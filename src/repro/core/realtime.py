@@ -47,9 +47,11 @@ from __future__ import annotations
 
 import itertools
 import numbers
+import threading
 import time
 from collections import Counter, deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -59,6 +61,7 @@ from ..data.datasets import RecDataset
 from ..models.base import exclude_seen_items
 from .cache import MISS
 from .sccf import _NEG_INF, SCCF
+from .snapshot import read_snapshot, write_snapshot
 
 __all__ = [
     "HealthReport",
@@ -136,6 +139,9 @@ class HealthReport:
     observe_p99_ms: Optional[float] = None
     maintenance_passes: int = 0
     maintenance_failures: int = 0
+    #: stringified failure of the most recent maintenance pass (None after a
+    #: success) — how an operator sees a contained shadow-retrain failure
+    last_maintenance_error: Optional[str] = None
     #: serving-cache counters (None when no cache is attached)
     cache: Optional[object] = None
 
@@ -168,6 +174,13 @@ class MaintenanceReport:
     imbalance fields are then ``None``.  ``prefilled_users`` counts how many
     head users had their serving-cache entries re-warmed after a retrain
     (0 when nothing retrained, no cache is attached, or prefill was off).
+
+    ``shadow`` records whether the retrain ran blue/green — cloned into a
+    shadow index and atomically published — rather than in place;
+    ``journaled_mutations`` counts the mutations that arrived while the
+    shadow was building and were replayed onto it before the swap.
+    ``error`` carries the stringified failure of a shadow pass that was
+    contained (the live index kept serving, untouched).
     """
 
     supported: bool
@@ -177,6 +190,21 @@ class MaintenanceReport:
     threshold: Optional[float] = None
     duration_ms: float = 0.0
     prefilled_users: int = 0
+    shadow: bool = False
+    journaled_mutations: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class _ShadowBuild:
+    """Book-keeping for one in-flight background shadow retrain."""
+
+    shadow: Any
+    imbalance_before: float
+    threshold: float
+    started: float
+    thread: Optional[threading.Thread] = None
+    error: Optional[BaseException] = None
 
 
 @dataclass
@@ -311,6 +339,10 @@ class RealTimeServer:
         #: user ids of the most recent requests (observes + recommends) —
         #: the head-user population for post-retrain cache prefill
         self._recent_active: Deque[int] = deque(maxlen=activity_window)
+        #: the most recent MaintenanceReport (success or contained failure)
+        self.last_maintenance: Optional[MaintenanceReport] = None
+        #: the in-flight background shadow retrain, if any
+        self._shadow_build: Optional[_ShadowBuild] = None
         self.scheduler: Optional[MaintenanceScheduler] = (
             MaintenanceScheduler(self, every_events=maintenance_every)
             if maintenance_every is not None
@@ -465,6 +497,7 @@ class RealTimeServer:
         self,
         imbalance_threshold: Optional[float] = None,
         prefill_users: Optional[int] = None,
+        shadow: bool = True,
     ) -> MaintenanceReport:
         """Re-cluster the neighbor index if streamed adds have skewed it.
 
@@ -480,6 +513,19 @@ class RealTimeServer:
         cells a query probes.  No-op (``supported=False``) for indexes
         without a maintenance surface, e.g. brute force.
 
+        With ``shadow=True`` (the default) and a cloneable index the retrain
+        runs **blue/green**: the live rows are cloned into a shadow index,
+        re-clustering happens there, mutations that land meanwhile are
+        journaled and replayed onto the shadow, and the result is published
+        through one atomic reference swap — the published index is
+        bit-identical to what an in-place retrain would have produced, and a
+        retrain failure leaves the live index serving untouched (the failure
+        is recorded on ``last_maintenance`` and re-raised).  ``shadow=False``
+        forces the legacy in-place path, which mutates the serving index
+        mid-retrain.  This synchronous form still blocks the caller either
+        way; see :meth:`begin_shadow_maintenance` for the non-blocking
+        variant the scheduler's background mode uses.
+
         ``prefill_users=K``: a retrain bumps the index epoch, which drops
         every epoch-validated serving-cache entry at once — the next request
         from *every* repeat visitor would pay a full recompute.  Passing K
@@ -490,9 +536,15 @@ class RealTimeServer:
 
         if prefill_users is not None and prefill_users <= 0:
             raise ValueError("prefill_users must be positive")
+        if self._shadow_build is not None:
+            raise RuntimeError(
+                "a background shadow maintenance build is already running; poll it first"
+            )
         index = self.sccf.neighborhood.index
         if not (hasattr(index, "imbalance") and hasattr(index, "retrain")):
-            return MaintenanceReport(supported=False)
+            report = MaintenanceReport(supported=False)
+            self.last_maintenance = report
+            return report
         if imbalance_threshold is None:
             imbalance_threshold = getattr(index, "retrain_threshold", None)
         if imbalance_threshold is None:
@@ -500,22 +552,212 @@ class RealTimeServer:
         start = time.perf_counter()
         before = index.imbalance()
         retrained = before > imbalance_threshold
+        use_shadow = shadow and hasattr(index, "clone")
+        journaled = 0
         if retrained:
-            index.retrain()
+            if use_shadow:
+                journaled = self._shadow_retrain(index, before, imbalance_threshold, start)
+            else:
+                index.retrain()
+        live = self.sccf.neighborhood.index  # re-read: a shadow publish swapped it
         prefilled = (
             len(self.prefill_cache(prefill_users))
             if retrained and prefill_users is not None
             else 0
         )
-        return MaintenanceReport(
+        report = MaintenanceReport(
             supported=True,
             retrained=retrained,
             imbalance_before=before,
-            imbalance_after=index.imbalance() if retrained else before,
+            imbalance_after=live.imbalance() if retrained else before,
             threshold=imbalance_threshold,
             duration_ms=(time.perf_counter() - start) * 1000.0,
             prefilled_users=prefilled,
+            shadow=use_shadow and retrained,
+            journaled_mutations=journaled,
         )
+        self.last_maintenance = report
+        return report
+
+    def _shadow_retrain(
+        self, index: Any, before: float, threshold: float, start: float
+    ) -> int:
+        """Clone → journal → retrain → publish; contain any failure.
+
+        Runs synchronously on the calling thread.  On failure the journal is
+        closed, a failure report lands on ``last_maintenance`` (so
+        :meth:`health` surfaces it) and the exception propagates — the live
+        index was never touched, so serving continues bit-identically.
+        Returns the number of journaled mutations replayed onto the shadow.
+        """
+
+        neighborhood = self.sccf.neighborhood
+        shadow = index.clone()
+        neighborhood.begin_index_journal()
+        try:
+            shadow.retrain()
+            return self._publish_shadow(shadow)
+        except Exception as exc:
+            if neighborhood.index_journal_active:
+                neighborhood.end_index_journal()
+            self.last_maintenance = MaintenanceReport(
+                supported=True,
+                retrained=False,
+                imbalance_before=before,
+                imbalance_after=before,
+                threshold=threshold,
+                duration_ms=(time.perf_counter() - start) * 1000.0,
+                shadow=True,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            raise
+
+    def _publish_shadow(self, shadow: Any) -> int:
+        """Atomically publish a fully built shadow index.
+
+        Closes the mutation journal, replays its entries onto the shadow (so
+        the shadow is bit-identical to an in-place retrain that saw the same
+        mutations), bumps the epoch past the live index's — exactly one bump,
+        so epoch-validated cache layers invalidate once — and swaps the
+        reference.  The swap is a single assignment of a local name
+        (machine-enforced by repolint's RL007): readers see either the old
+        index or the fully built new one, never a half-retrained state.
+        """
+
+        neighborhood = self.sccf.neighborhood
+        journal = neighborhood.end_index_journal()
+        replayed = neighborhood.replay_index_journal(journal, shadow)
+        live = neighborhood.index
+        shadow.epoch = max(int(getattr(shadow, "epoch", 0)), int(getattr(live, "epoch", 0)) + 1)
+        neighborhood.index = shadow
+        return replayed
+
+    # ------------------------------------------------------------------ #
+    # background (non-blocking) shadow maintenance
+    # ------------------------------------------------------------------ #
+    def shadow_maintenance_active(self) -> bool:
+        """True while a background shadow retrain is building."""
+
+        return self._shadow_build is not None
+
+    def begin_shadow_maintenance(
+        self, imbalance_threshold: Optional[float] = None
+    ) -> Optional[MaintenanceReport]:
+        """Start a shadow retrain on a background thread; never blocks serving.
+
+        The blocking part of blue/green maintenance is the re-cluster itself
+        (kmeans over every row — BLAS matmuls that release the GIL), so that
+        is *all* the worker thread runs: the clone and journal-begin happen
+        here on the serving thread, and the replay/swap happens on the
+        serving thread too, inside :meth:`poll_shadow_maintenance`.  Nothing
+        the worker touches is shared with serving, so no lock guards the hot
+        path.
+
+        Returns the finished :class:`MaintenanceReport` when no build was
+        needed (index unsupported or not cloneable, or imbalance below
+        threshold) and ``None`` when a build was launched — call
+        :meth:`poll_shadow_maintenance` from the serving thread to publish
+        it.  Raises if a build is already in flight.
+        """
+
+        if self._shadow_build is not None:
+            raise RuntimeError("a background shadow maintenance build is already running")
+        index = self.sccf.neighborhood.index
+        if not (
+            hasattr(index, "imbalance")
+            and hasattr(index, "retrain")
+            and hasattr(index, "clone")
+        ):
+            report = MaintenanceReport(supported=False)
+            self.last_maintenance = report
+            return report
+        if imbalance_threshold is None:
+            imbalance_threshold = getattr(index, "retrain_threshold", None)
+        if imbalance_threshold is None:
+            imbalance_threshold = DEFAULT_RETRAIN_THRESHOLD
+        start = time.perf_counter()
+        before = index.imbalance()
+        if before <= imbalance_threshold:
+            report = MaintenanceReport(
+                supported=True,
+                retrained=False,
+                imbalance_before=before,
+                imbalance_after=before,
+                threshold=imbalance_threshold,
+                duration_ms=(time.perf_counter() - start) * 1000.0,
+                shadow=True,
+            )
+            self.last_maintenance = report
+            return report
+        shadow = index.clone()
+        self.sccf.neighborhood.begin_index_journal()
+        build = _ShadowBuild(
+            shadow=shadow, imbalance_before=before, threshold=imbalance_threshold, started=start
+        )
+
+        def _run() -> None:
+            try:
+                shadow.retrain()
+            except Exception as exc:  # recorded, re-raised at poll time
+                build.error = exc
+
+        build.thread = threading.Thread(target=_run, name="shadow-retrain", daemon=True)
+        self._shadow_build = build
+        build.thread.start()
+        return None
+
+    def poll_shadow_maintenance(
+        self, prefill_users: Optional[int] = None, wait: bool = False
+    ) -> Optional[MaintenanceReport]:
+        """Publish a finished background shadow build (serving-thread half).
+
+        Returns ``None`` when no build is in flight or the build is still
+        running (``wait=True`` blocks until it finishes instead).  When the
+        build is done: replays the journaled mutations, swaps the reference,
+        optionally re-warms the cache (``prefill_users``), and returns the
+        success report.  A build that failed is contained exactly like the
+        synchronous path — journal closed, live index untouched, failure
+        report on ``last_maintenance`` — and its exception re-raised here.
+        """
+
+        build = self._shadow_build
+        if build is None:
+            return None
+        assert build.thread is not None
+        if not wait and build.thread.is_alive():
+            return None
+        build.thread.join()
+        self._shadow_build = None
+        neighborhood = self.sccf.neighborhood
+        if build.error is not None:
+            if neighborhood.index_journal_active:
+                neighborhood.end_index_journal()
+            self.last_maintenance = MaintenanceReport(
+                supported=True,
+                retrained=False,
+                imbalance_before=build.imbalance_before,
+                imbalance_after=build.imbalance_before,
+                threshold=build.threshold,
+                duration_ms=(time.perf_counter() - build.started) * 1000.0,
+                shadow=True,
+                error=f"{type(build.error).__name__}: {build.error}",
+            )
+            raise build.error
+        journaled = self._publish_shadow(build.shadow)
+        prefilled = len(self.prefill_cache(prefill_users)) if prefill_users is not None else 0
+        report = MaintenanceReport(
+            supported=True,
+            retrained=True,
+            imbalance_before=build.imbalance_before,
+            imbalance_after=self.sccf.neighborhood.index.imbalance(),
+            threshold=build.threshold,
+            duration_ms=(time.perf_counter() - build.started) * 1000.0,
+            prefilled_users=prefilled,
+            shadow=True,
+            journaled_mutations=journaled,
+        )
+        self.last_maintenance = report
+        return report
 
     def prefill_cache(self, num_users: int) -> List[int]:
         """Re-warm the serving cache for the ``num_users`` most-frequent recent users.
@@ -785,6 +1027,13 @@ class RealTimeServer:
         scheduler = self.scheduler
         recommend_p50, recommend_p99 = _window_percentiles(self.recommend_latencies)
         observe_p50, observe_p99 = _window_percentiles(self.observe_request_latencies)
+        last_error = (
+            self.last_maintenance.error if self.last_maintenance is not None else None
+        )
+        if last_error is None and scheduler is not None:
+            # in-place (non-shadow) failures never produce a report object —
+            # the scheduler's containment record is the only trace
+            last_error = scheduler.last_failure
         return HealthReport(
             healthy=healthy,
             shards=shards,
@@ -803,8 +1052,104 @@ class RealTimeServer:
             maintenance_failures=(
                 scheduler.maintenance_failures if scheduler is not None else 0
             ),
+            last_maintenance_error=last_error,
             cache=stats,
         )
+
+    # ------------------------------------------------------------------ #
+    # crash-safe snapshot persistence
+    # ------------------------------------------------------------------ #
+    def save_snapshot(self, directory: "str | Path", keep: int = 2) -> Path:
+        """Persist the serving state to a new crash-safe snapshot generation.
+
+        Covers the neighbor index (vectors, ids, IVF centroids and cell
+        assignments), the integrating MLP (weights plus frozen predict
+        state), the serving-cache *configuration*, and the per-user streamed
+        histories — everything needed for a replica to cold-start and serve
+        bit-identical recommendations.  Cache entries and user embeddings
+        are derivable and are never persisted.  Every file is written via
+        tmp-file + fsync + atomic rename with a manifest committed last, so
+        a crash mid-write can never leave a loadable-but-corrupt snapshot
+        (see :mod:`repro.core.snapshot`).  Returns the generation directory.
+        """
+
+        if self._shadow_build is not None:
+            raise RuntimeError("cannot snapshot while a shadow maintenance build is running")
+        users = sorted(self._states)
+        offsets = np.zeros(len(users) + 1, dtype=np.int64)
+        values: List[int] = []
+        for i, user in enumerate(users):
+            history = self._states[user].history
+            offsets[i + 1] = offsets[i] + len(history)
+            values.extend(history)
+        state = {
+            "meta": {
+                "format": "realtime-server",
+                "default_deadline_ms": self.default_deadline_ms,
+                "latency_window": int(self.latencies.maxlen or 0),
+                "activity_window": int(self._recent_active.maxlen or 0),
+                "maintenance_every": (
+                    self.scheduler.every_events if self.scheduler is not None else None
+                ),
+                "num_items": int(self.num_items),
+            },
+            "histories": {
+                "users": np.asarray(users, dtype=np.int64),
+                "offsets": offsets,
+                "values": np.asarray(values, dtype=np.int64),
+            },
+            "sccf": self.sccf.snapshot_state(),
+        }
+        epoch = int(getattr(self.sccf.neighborhood.index, "epoch", 0))
+        return write_snapshot(Path(directory), state, epoch=epoch, keep=keep)
+
+    @classmethod
+    def load_snapshot(
+        cls,
+        directory: "str | Path",
+        sccf: SCCF,
+        dataset: RecDataset,
+        **overrides: Any,
+    ) -> "RealTimeServer":
+        """Cold-start a serving replica from the newest committed snapshot.
+
+        ``directory`` may be the snapshot root (the newest committed
+        generation is resolved through the ``CURRENT`` pointer) or one
+        generation directory.  ``sccf`` must be constructed with the same
+        config and already-fitted UI model the snapshot was taken from —
+        the UI model is immutable at serving time and deliberately outside
+        the snapshot; everything mutable is restored from disk.  ``dataset``
+        re-supplies the training histories (they belong to the dataset, not
+        the snapshot).  Keyword overrides replace any saved server
+        constructor argument (e.g. ``maintenance_every``).  The restored
+        server serves bit-identically to the one that saved.
+        """
+
+        payload = read_snapshot(Path(directory))
+        state = payload.state
+        sccf.restore_snapshot_state(state["sccf"])
+        sccf._user_histories = dataset.train.user_sequences()
+        meta = state["meta"]
+        kwargs: Dict[str, Any] = {
+            "latency_window": int(meta["latency_window"]),
+            "maintenance_every": (
+                None if meta["maintenance_every"] is None else int(meta["maintenance_every"])
+            ),
+            "activity_window": int(meta["activity_window"]),
+            "default_deadline_ms": meta["default_deadline_ms"],
+        }
+        kwargs.update(overrides)
+        server = cls(sccf, dataset, **kwargs)
+        histories = state["histories"]
+        offsets = histories["offsets"]
+        values = histories["values"]
+        states: Dict[int, _UserState] = {}
+        for i, user in enumerate(histories["users"].tolist()):
+            states[int(user)] = _UserState(
+                history=values[int(offsets[i]) : int(offsets[i + 1])].tolist()
+            )
+        server._states = states
+        return server
 
     def history(self, user_id: int) -> List[int]:
         return list(self._states.get(user_id, _UserState()).history)
@@ -882,6 +1227,14 @@ class MaintenanceScheduler:
 
     Construct it directly around any server, or let the server own one via
     ``RealTimeServer(..., maintenance_every=N)``.
+
+    ``background=True`` switches to non-blocking blue/green maintenance:
+    when the counter trips, :meth:`RealTimeServer.begin_shadow_maintenance`
+    launches the re-cluster on a worker thread and every subsequent
+    ``notify`` polls :meth:`RealTimeServer.poll_shadow_maintenance` until
+    the build publishes — ingestion never stalls for the length of a
+    retrain.  ``shadow=False`` (synchronous mode only) forces the legacy
+    in-place retrain, which mutates the serving index mid-pass.
     """
 
     def __init__(
@@ -891,6 +1244,8 @@ class MaintenanceScheduler:
         imbalance_threshold: Optional[float] = None,
         report_window: int = 64,
         prefill_users: Optional[int] = None,
+        shadow: bool = True,
+        background: bool = False,
     ) -> None:
         if every_events <= 0:
             raise ValueError("every_events must be positive")
@@ -904,6 +1259,10 @@ class MaintenanceScheduler:
         #: when set, every retraining pass re-warms the serving cache for
         #: this many head users (see RealTimeServer.prefill_cache)
         self.prefill_users = prefill_users
+        #: blue/green (clone → retrain → swap) instead of in-place retrain
+        self.shadow = shadow
+        #: run the re-cluster on a worker thread, publishing at a later notify
+        self.background = background
         self.events_since_maintenance = 0
         #: total number of maintenance passes triggered over the lifetime
         self.passes_run = 0
@@ -941,24 +1300,62 @@ class MaintenanceScheduler:
         if num_events < 0:
             raise ValueError("num_events must be non-negative")
         self.events_since_maintenance += num_events
+        polled: Optional[MaintenanceReport] = None
+        if self.background:
+            polled = self._poll_background()
         required = self.every_events * (2 ** min(self.failure_streak, 6))
         if self.events_since_maintenance < required:
-            return None
-        self.events_since_maintenance = 0
+            return polled
+        if self.background:
+            if self.server.shadow_maintenance_active():
+                # a build is still re-clustering; leave the counter tripped
+                # and publish at a later notify
+                return polled
+            self.events_since_maintenance = 0
+            try:
+                report = self.server.begin_shadow_maintenance(self.imbalance_threshold)
+            except Exception as exc:
+                self._record_failure(exc)
+                return polled
+            if report is None:
+                # launched: the pass completes (and is counted) at poll time
+                return polled
+        else:
+            self.events_since_maintenance = 0
+            try:
+                report = self.server.maintain(
+                    self.imbalance_threshold,
+                    prefill_users=self.prefill_users,
+                    shadow=self.shadow,
+                )
+            except Exception as exc:
+                self._record_failure(exc)
+                return None
+        self._record_success(report)
+        return report
+
+    def _poll_background(self) -> Optional[MaintenanceReport]:
+        """Advance (and account for) the in-flight background build, if any."""
+
         try:
-            report = self.server.maintain(
-                self.imbalance_threshold, prefill_users=self.prefill_users
-            )
+            report = self.server.poll_shadow_maintenance(prefill_users=self.prefill_users)
         except Exception as exc:
-            self.maintenance_failures += 1
-            self.failure_streak += 1
-            self.last_failure = f"{type(exc).__name__}: {exc}"
+            self._record_failure(exc)
             return None
+        if report is not None:
+            self._record_success(report)
+        return report
+
+    def _record_success(self, report: MaintenanceReport) -> None:
         self.failure_streak = 0
         self.last_failure = None
         self.reports.append(report)
         self.passes_run += 1
-        return report
+
+    def _record_failure(self, exc: Exception) -> None:
+        self.maintenance_failures += 1
+        self.failure_streak += 1
+        self.last_failure = f"{type(exc).__name__}: {exc}"
 
 
 class EventBuffer:

@@ -22,8 +22,8 @@ framework, e.g. FISM_SCCF).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -467,6 +467,56 @@ class SCCF(Recommender):
     def _require_fitted(self) -> None:
         if not self._fitted or self.merger is None:
             raise RuntimeError("SCCF has not been fitted")
+
+    # ------------------------------------------------------------------ #
+    # snapshot persistence
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Everything needed to rebuild this fitted stack, ndarray leaves intact.
+
+        Covers the neighbor index (nested inside the neighborhood state), the
+        integrating MLP (weights plus frozen predict state) and the serving
+        cache's *configuration* — cache entries are derivable and are re-warmed
+        after restore, never persisted.  The UI model is out of scope: it is
+        immutable at serving time and is supplied separately on restore.
+        """
+
+        self._require_fitted()
+        config = asdict(self.config)
+        config["merger_hidden_dims"] = list(config["merger_hidden_dims"])
+        return {
+            "meta": {
+                "mode": self.mode,
+                "num_users": int(self.num_users),
+                "num_items": int(self.num_items),
+                "config": config,
+            },
+            "neighborhood": self.neighborhood.snapshot_state(),
+            "merger": self.merger.snapshot_state(),
+            "cache": self.cache.snapshot_config() if self.cache is not None else None,
+        }
+
+    def restore_snapshot_state(self, state: Dict[str, Any]) -> None:
+        """Overwrite this stack's serving state from a :meth:`snapshot_state` tree.
+
+        The caller constructs the SCCF with the *same config and UI model* the
+        snapshot was taken from, then calls this instead of :meth:`fit`.  User
+        histories are not part of the snapshot (they belong to the dataset) —
+        the caller re-supplies them, as :meth:`RealTimeServer.load_snapshot`
+        does.
+        """
+
+        meta = state["meta"]
+        self.mode = str(meta["mode"])
+        self.num_users = int(meta["num_users"])
+        self.num_items = int(meta["num_items"])
+        self.neighborhood.restore_snapshot_state(state["neighborhood"])
+        self.merger = IntegratingMLP.restore_state(state["merger"])
+        cache_config = state.get("cache")
+        self.attach_cache(
+            ServingCache.from_config(cache_config) if cache_config is not None else None
+        )
+        self._fitted = True
 
     # ------------------------------------------------------------------ #
     # lifecycle

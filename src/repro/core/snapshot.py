@@ -1,0 +1,378 @@
+"""Crash-safe snapshot persistence (generation directories + manifest commit).
+
+A snapshot is a *generation directory* (``gen-000001``, ``gen-000002``, ...)
+under a snapshot root.  Each generation holds:
+
+* ``state.json`` — the structured state tree (server config, SCCF config,
+  index metadata, merger hyperparameters, ...) with every ``ndarray`` leaf
+  replaced by an ``{"__array__": "<name>.npy"}`` placeholder,
+* one ``.npy`` file per extracted array (``np.save`` format,
+  ``allow_pickle=False`` both ways — snapshots never execute pickle), and
+* ``manifest.json`` — format version, index epoch, and per-file byte length
+  + SHA-256 — written **last**, as the commit point.
+
+Every file lands via :func:`_atomic_write`: same-directory tmp file →
+``flush`` → ``os.fsync`` → :func:`_replace_file` (the ``os.replace`` seam
+:class:`repro.testing.FaultInjector` patches to simulate crashes) → directory
+fsync.  A crash at any point therefore leaves either (a) a stray ``.tmp``
+file, (b) a generation directory without a manifest, or (c) a fully committed
+generation — never a manifest that endorses half-written content.  The
+``CURRENT`` pointer at the root is updated only after the manifest commits,
+so readers resolving the root always land on the last *complete* generation.
+
+:func:`read_snapshot` re-verifies byte lengths and checksums against the
+manifest and raises :class:`SnapshotError` with a reason (missing file,
+truncation, checksum mismatch, version skew) instead of loading corrupt
+state; earlier generations stay on disk (``keep`` newest are retained) so a
+rejected newest generation still leaves the previous one loadable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import re
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotError",
+    "SnapshotPayload",
+    "list_generations",
+    "read_snapshot",
+    "write_snapshot",
+]
+
+#: Bump on any incompatible change to the layout above.
+SNAPSHOT_FORMAT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_STATE = "state.json"
+_CURRENT = "CURRENT"
+_GENERATION_RE = re.compile(r"^gen-(\d{6})$")
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot cannot be written, or fails its integrity verification."""
+
+
+@dataclass
+class SnapshotPayload:
+    """What :func:`read_snapshot` returns: verified state plus provenance."""
+
+    state: Dict[str, Any]
+    epoch: int
+    generation: int
+    path: Path
+
+
+# ---------------------------------------------------------------------- #
+# atomic file plumbing
+# ---------------------------------------------------------------------- #
+
+
+def _replace_file(src: Path, dst: Path) -> None:
+    """Atomic rename seam — fault injection patches this to simulate crashes."""
+
+    os.replace(src, dst)
+
+
+def _fsync_dir(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover — some filesystems refuse dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """The only sanctioned way to create a snapshot file (RL007 clause A).
+
+    Same-directory tmp → write → flush → fsync → rename → directory fsync:
+    after a crash the target either has its complete old content or its
+    complete new content, never a prefix.
+    """
+
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    _replace_file(tmp, path)
+    _fsync_dir(path.parent)
+
+
+# ---------------------------------------------------------------------- #
+# array extraction / restoration
+# ---------------------------------------------------------------------- #
+
+
+def _array_bytes(array: np.ndarray) -> bytes:
+    buffer = io.BytesIO()
+    np.save(buffer, array, allow_pickle=False)
+    return buffer.getvalue()
+
+
+def _array_from_bytes(data: bytes, name: str) -> np.ndarray:
+    try:
+        return np.load(io.BytesIO(data), allow_pickle=False)
+    except Exception as exc:
+        raise SnapshotError(f"snapshot array {name!r} is unreadable: {exc}") from exc
+
+
+def _strip_arrays(node: Any, prefix: str, arrays: Dict[str, np.ndarray]) -> Any:
+    """Replace every ndarray leaf with a placeholder, collecting the arrays."""
+
+    if isinstance(node, np.ndarray):
+        name = f"{prefix}.npy"
+        if name in arrays:
+            raise SnapshotError(f"duplicate array path {name!r} in snapshot state")
+        arrays[name] = node
+        return {"__array__": name}
+    if isinstance(node, dict):
+        out: Dict[str, Any] = {}
+        for key, value in node.items():
+            if not isinstance(key, str):
+                raise SnapshotError(
+                    f"snapshot state keys must be strings, got {key!r} under {prefix!r}"
+                )
+            out[key] = _strip_arrays(value, f"{prefix}.{key}" if prefix else key, arrays)
+        return out
+    if isinstance(node, (list, tuple)):
+        return [
+            _strip_arrays(value, f"{prefix}.{position}", arrays)
+            for position, value in enumerate(node)
+        ]
+    return node
+
+
+def _graft_arrays(node: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Inverse of :func:`_strip_arrays`: resolve placeholders back to arrays."""
+
+    if isinstance(node, dict):
+        if set(node) == {"__array__"}:
+            name = node["__array__"]
+            if name not in arrays:
+                raise SnapshotError(f"state references array {name!r} absent from manifest")
+            return arrays[name]
+        return {key: _graft_arrays(value, arrays) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_graft_arrays(value, arrays) for value in node]
+    return node
+
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    raise TypeError(f"snapshot state contains non-serializable {type(value).__name__}")
+
+
+# ---------------------------------------------------------------------- #
+# generation management
+# ---------------------------------------------------------------------- #
+
+
+def list_generations(root: Union[str, Path]) -> List[Path]:
+    """Generation directories under ``root``, oldest first (committed or not)."""
+
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    found = [
+        entry
+        for entry in root.iterdir()
+        if entry.is_dir() and _GENERATION_RE.match(entry.name)
+    ]
+    return sorted(found, key=lambda entry: entry.name)
+
+
+def _generation_number(path: Path) -> int:
+    match = _GENERATION_RE.match(path.name)
+    if match is None:
+        raise SnapshotError(f"{path} is not a snapshot generation directory")
+    return int(match.group(1))
+
+
+def _resolve_generation(path: Path) -> Path:
+    """Map a root or generation directory to the generation to read."""
+
+    if (path / _MANIFEST).is_file():
+        return path
+    if _GENERATION_RE.match(path.name):
+        raise SnapshotError(f"snapshot {path} has no manifest (interrupted write?)")
+    if not path.is_dir():
+        raise SnapshotError(f"snapshot directory {path} does not exist")
+    current = path / _CURRENT
+    if current.is_file():
+        name = current.read_text().strip()
+        candidate = path / name
+        if (candidate / _MANIFEST).is_file():
+            return candidate
+        raise SnapshotError(
+            f"CURRENT points at {name!r} but {candidate / _MANIFEST} is missing"
+        )
+    committed = [
+        entry for entry in list_generations(path) if (entry / _MANIFEST).is_file()
+    ]
+    if not committed:
+        raise SnapshotError(f"no committed snapshot generation under {path}")
+    return committed[-1]
+
+
+def _prune(root: Path, keep: int, protect: Path) -> None:
+    """Drop all but the ``keep`` newest committed generations (never ``protect``)."""
+
+    committed = [
+        entry for entry in list_generations(root) if (entry / _MANIFEST).is_file()
+    ]
+    for entry in committed[: max(0, len(committed) - keep)]:
+        if entry == protect:  # pragma: no cover — keep >= 1 always protects it
+            continue
+        shutil.rmtree(entry, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------- #
+# write / read
+# ---------------------------------------------------------------------- #
+
+
+def write_snapshot(
+    root: Union[str, Path],
+    state: Dict[str, Any],
+    epoch: int = 0,
+    keep: int = 2,
+) -> Path:
+    """Commit ``state`` as a new generation under ``root``; returns its path.
+
+    ``state`` is an arbitrarily nested tree of JSON-safe values and
+    ``ndarray`` leaves.  ``epoch`` (the serving index epoch at save time) is
+    recorded in the manifest for observability.  The ``keep`` newest
+    committed generations are retained, older ones pruned.
+    """
+
+    if keep < 1:
+        raise ValueError("keep must be at least 1")
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    existing = list_generations(root)
+    number = _generation_number(existing[-1]) + 1 if existing else 1
+    generation = root / f"gen-{number:06d}"
+    generation.mkdir()
+
+    arrays: Dict[str, np.ndarray] = {}
+    tree = _strip_arrays(state, "", arrays)
+    try:
+        state_bytes = json.dumps(
+            tree, sort_keys=True, separators=(",", ":"), default=_json_default
+        ).encode("utf-8")
+    except TypeError as exc:
+        raise SnapshotError(str(exc)) from exc
+
+    files: Dict[str, bytes] = {_STATE: state_bytes}
+    for name, array in arrays.items():
+        files[name] = _array_bytes(array)
+
+    entries: Dict[str, Dict[str, Any]] = {}
+    for name, data in sorted(files.items()):
+        _atomic_write(generation / name, data)
+        entries[name] = {
+            "bytes": len(data),
+            "sha256": hashlib.sha256(data).hexdigest(),
+        }
+    manifest = {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "epoch": int(epoch),
+        "generation": number,
+        "files": entries,
+    }
+    # The manifest is the commit point: it lands last, so its existence
+    # certifies every file above it.
+    _atomic_write(
+        generation / _MANIFEST,
+        json.dumps(manifest, sort_keys=True, indent=1).encode("utf-8"),
+    )
+    _atomic_write(root / _CURRENT, generation.name.encode("utf-8"))
+    _prune(root, keep, generation)
+    return generation
+
+
+def read_snapshot(path: Union[str, Path]) -> SnapshotPayload:
+    """Load and verify a snapshot from a root (resolving ``CURRENT``) or a
+    generation directory; :class:`SnapshotError` on any integrity failure."""
+
+    generation = _resolve_generation(Path(path))
+    manifest_path = generation / _MANIFEST
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"unreadable snapshot manifest {manifest_path}: {exc}") from exc
+    version = manifest.get("format_version")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot {generation} has format version {version!r}; "
+            f"this build reads version {SNAPSHOT_FORMAT_VERSION}"
+        )
+    entries = manifest.get("files")
+    if not isinstance(entries, dict) or _STATE not in entries:
+        raise SnapshotError(f"snapshot manifest {manifest_path} lists no state file")
+
+    contents: Dict[str, bytes] = {}
+    for name, entry in entries.items():
+        target = generation / name
+        try:
+            data = target.read_bytes()
+        except OSError as exc:
+            raise SnapshotError(f"snapshot file {target} is missing: {exc}") from exc
+        if len(data) != entry.get("bytes"):
+            raise SnapshotError(
+                f"snapshot file {target} is truncated "
+                f"({len(data)} bytes, manifest says {entry.get('bytes')})"
+            )
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != entry.get("sha256"):
+            raise SnapshotError(
+                f"snapshot file {target} fails its checksum "
+                f"(content {digest[:12]}..., manifest {str(entry.get('sha256'))[:12]}...)"
+            )
+        contents[name] = data
+
+    tree = json.loads(contents[_STATE].decode("utf-8"))
+    arrays = {
+        name: _array_from_bytes(data, name)
+        for name, data in contents.items()
+        if name != _STATE
+    }
+    state = _graft_arrays(tree, arrays)
+    if not isinstance(state, dict):
+        raise SnapshotError(f"snapshot {generation} state root is not an object")
+    return SnapshotPayload(
+        state=state,
+        epoch=int(manifest.get("epoch", 0)),
+        generation=_generation_number(generation),
+        path=generation,
+    )
+
+
+def previous_generation(root: Union[str, Path], before: Union[str, Path]) -> Optional[Path]:
+    """Newest committed generation older than ``before`` (None if there is none)."""
+
+    cutoff = _generation_number(Path(before))
+    committed = [
+        entry
+        for entry in list_generations(root)
+        if (entry / _MANIFEST).is_file() and _generation_number(entry) < cutoff
+    ]
+    return committed[-1] if committed else None

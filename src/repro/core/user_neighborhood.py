@@ -168,6 +168,11 @@ class UserNeighborhoodComponent:
         # (and therefore by every RealTimeServer.observe), so serving caches
         # can validate anything derived from a user's state in O(1).
         self._user_versions: Dict[int, int] = {}
+        # Active mutation journal for a blue-green shadow retrain: while set,
+        # every index mutation is recorded so the maintenance path can replay
+        # it onto the shadow before the publish swap.  Bounded by the shadow
+        # build's duration — begin/end bracket one maintenance pass.
+        self._mutation_journal: Optional[List[Tuple[str, np.ndarray, Optional[np.ndarray]]]] = None
         #: optional :class:`~repro.core.cache.ServingCache`; when set (SCCF
         #: attaches its own), :meth:`score_for_users` serves repeat
         #: neighborhoods from the cache's ``neighbors`` layer.
@@ -496,6 +501,10 @@ class UserNeighborhoodComponent:
         positions = np.asarray(user_ids, dtype=np.int64)
         self._user_embeddings[positions] = embeddings
         update_batch(self.index, positions, embeddings)
+        if self._mutation_journal is not None:
+            self._mutation_journal.append(
+                ("update", positions.copy(), np.array(embeddings, dtype=np.float64, copy=True))
+            )
         self._set_recent_items(user_ids, histories)
         self._bump_versions(user_ids)
         return embeddings
@@ -540,9 +549,13 @@ class UserNeighborhoodComponent:
         self._user_embeddings = np.concatenate([self._user_embeddings, block])
         if hasattr(self.index, "add"):
             self.index.add(block)
+            if self._mutation_journal is not None:
+                self._mutation_journal.append(("add", block.copy(), None))
         else:
             # Third-party index without a grow path: rebuild from scratch.
             self.index.build(self._user_embeddings)
+            if self._mutation_journal is not None:
+                self._mutation_journal.append(("build", self._user_embeddings.copy(), None))
         self.num_users = len(self._user_embeddings)
         self._set_recent_items(user_ids, histories)
         self._bump_versions(user_ids)
@@ -586,6 +599,135 @@ class UserNeighborhoodComponent:
                 )
                 if len(self._recent_overrides) > max(64, self.num_users // 20):
                     self._recent_dirty = True
+
+    # ------------------------------------------------------------------ #
+    # blue-green maintenance: mutation journal + snapshot persistence
+    # ------------------------------------------------------------------ #
+    def begin_index_journal(self) -> None:
+        """Start recording index mutations (one shadow build at a time)."""
+
+        if self._mutation_journal is not None:
+            raise RuntimeError("an index mutation journal is already active")
+        self._mutation_journal = []
+
+    @property
+    def index_journal_active(self) -> bool:
+        return self._mutation_journal is not None
+
+    def end_index_journal(self) -> List[Tuple[str, np.ndarray, Optional[np.ndarray]]]:
+        """Stop recording and hand the journal to the caller for replay."""
+
+        if self._mutation_journal is None:
+            raise RuntimeError("no index mutation journal is active")
+        journal, self._mutation_journal = self._mutation_journal, None
+        return journal
+
+    @staticmethod
+    def replay_index_journal(
+        journal: List[Tuple[str, np.ndarray, Optional[np.ndarray]]],
+        index: NeighborIndex,
+    ) -> int:
+        """Apply journaled mutations to ``index`` in arrival order.
+
+        Entries carry the exact payloads the live index received, so after
+        replay the shadow has seen the same mutation stream — the foundation
+        of the publish-is-bit-identical contract.  Returns the entry count.
+        """
+
+        for op, payload, extra in journal:
+            if op == "update":
+                update_batch(index, payload, extra)
+            elif op == "add":
+                index.add(payload)
+            elif op == "build":
+                index.build(payload)
+            else:  # pragma: no cover — journal writers emit only these ops
+                raise ValueError(f"unknown journal op {op!r}")
+        return len(journal)
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Serializable state tree for :mod:`repro.core.snapshot`.
+
+        Recent-item lists and version counters are packed into flat arrays
+        (users / offsets / values) so the snapshot stays JSON + ``.npy``.
+        """
+
+        self._require_fitted()
+        recent_users = sorted(self._recent_items)
+        recent_offsets = np.zeros(len(recent_users) + 1, dtype=np.int64)
+        chunks: List[np.ndarray] = []
+        for row, user in enumerate(recent_users):
+            items = np.asarray(self._recent_items[user], dtype=np.int64)
+            recent_offsets[row + 1] = recent_offsets[row] + len(items)
+            chunks.append(items)
+        recent_values = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        )
+        version_users = sorted(self._user_versions)
+        return {
+            "meta": {
+                "num_neighbors": self.num_neighbors,
+                "recency_window": self.recency_window,
+                "max_user_growth": self.max_user_growth,
+                "num_users": self.num_users,
+                "num_items": self.num_items,
+            },
+            "arrays": {
+                "user_embeddings": self._user_embeddings,
+                "recent_users": np.asarray(recent_users, dtype=np.int64),
+                "recent_offsets": recent_offsets,
+                "recent_values": recent_values,
+                "version_users": np.asarray(version_users, dtype=np.int64),
+                "version_values": np.asarray(
+                    [self._user_versions[user] for user in version_users], dtype=np.int64
+                ),
+            },
+            "index": self.index.snapshot_state(),
+        }
+
+    def restore_snapshot_state(self, state: Dict[str, object]) -> None:
+        """Overwrite this component's fitted state from a snapshot tree.
+
+        The construction-time knobs (shard layout) stay whatever this
+        instance was built with; the *data* — embeddings, recent items,
+        version counters, and the index itself — comes back exactly as
+        saved.  The previous index is closed after the swap.
+        """
+
+        from ..ann import restore_index
+
+        meta = state["meta"]
+        arrays = state["arrays"]
+        self.num_neighbors = int(meta["num_neighbors"])
+        self.recency_window = int(meta["recency_window"])
+        self.max_user_growth = int(meta["max_user_growth"])
+        self.num_users = int(meta["num_users"])
+        self.num_items = int(meta["num_items"])
+        self._user_embeddings = np.asarray(
+            arrays["user_embeddings"], dtype=np.float64
+        ).copy()
+        recent_users = np.asarray(arrays["recent_users"], dtype=np.int64)
+        recent_offsets = np.asarray(arrays["recent_offsets"], dtype=np.int64)
+        recent_values = np.asarray(arrays["recent_values"], dtype=np.int64)
+        self._recent_items = {
+            int(user): recent_values[recent_offsets[row] : recent_offsets[row + 1]].tolist()
+            for row, user in enumerate(recent_users)
+        }
+        self._recent_indptr = None
+        self._recent_indices = None
+        self._recent_dirty = True
+        self._recent_overrides = {}
+        self._user_versions = {
+            int(user): int(version)
+            for user, version in zip(arrays["version_users"], arrays["version_values"])
+        }
+        old_index = self.index
+        self.index = restore_index(state["index"])
+        if old_index is not None and old_index is not self.index:
+            closer = getattr(old_index, "close", None)
+            if closer is not None:
+                closer()
+        self._fitted = True
 
     def user_embedding(self, user_id: int) -> np.ndarray:
         self._require_fitted()

@@ -24,6 +24,11 @@ The injector attacks the real mechanisms, not mocks:
 * :meth:`tick` turns the injector into a schedule: call it once per query
   and every ``kill_every``-th call kills a (seeded) random live worker —
   the loop :mod:`benchmarks.bench_fault_tolerance` is built on.
+* :meth:`fail_snapshot_commit` / :meth:`truncate_snapshot_file` /
+  :meth:`corrupt_snapshot_checksum` attack the crash-safe snapshot store:
+  a crash between tmp-write and atomic rename, a partially written segment,
+  a flipped checksum — each must leave the previous committed generation
+  loadable and make the damaged one fail loudly.
 
 Everything observable about the injector is derived from its ``seed``; two
 injectors with the same seed attack the same shards in the same order.
@@ -31,7 +36,10 @@ injectors with the same seed attack the same shards in the same order.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
+from pathlib import Path
 from typing import Any, List, Optional
 
 import numpy as np
@@ -234,3 +242,65 @@ class FaultInjector:
             return original(*args, **kwargs)  # pragma: no cover — patch removed first
 
         server.maintain = failing_maintain
+
+    # ------------------------------------------------------------------ #
+    # snapshot faults
+    # ------------------------------------------------------------------ #
+    def fail_snapshot_commit(self, times: int = 1, filename: Optional[str] = None) -> None:
+        """Crash the next ``times`` snapshot file commits (tmp → final rename).
+
+        Patches the snapshot module's atomic-rename seam so the tmp file is
+        written but never published — exactly the state a power cut between
+        write and rename leaves behind.  ``filename`` narrows the fault to
+        commits of that file (e.g. ``"manifest.json"``, the generation's
+        commit point); other files rename normally.  The patch removes
+        itself after ``times`` injected failures.
+        """
+
+        if times <= 0:
+            raise ValueError("times must be positive")
+        from ..core import snapshot as snapshot_module
+
+        original = snapshot_module._replace_file
+        remaining = [times]
+
+        def failing_replace(src: Path, dst: Path) -> None:
+            if remaining[0] > 0 and (filename is None or dst.name == filename):
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    snapshot_module._replace_file = original
+                raise InjectedFault(f"injected crash before publishing {dst.name}")
+            original(src, dst)
+
+        snapshot_module._replace_file = failing_replace
+
+    def truncate_snapshot_file(
+        self, generation_dir: Any, filename: str, keep_bytes: int = 0
+    ) -> None:
+        """Chop a committed snapshot file down to ``keep_bytes`` bytes.
+
+        Simulates a torn write / bad sector inside an already-committed
+        generation; the loader must reject the generation (byte-length
+        check) instead of deserializing garbage.
+        """
+
+        path = Path(generation_dir) / filename
+        data = path.read_bytes()
+        if not 0 <= keep_bytes < len(data):
+            raise ValueError("keep_bytes must be shorter than the file")
+        with open(path, "wb") as handle:  # repolint: disable=RL007 -- deliberate corruption
+            handle.write(data[:keep_bytes])
+
+    def corrupt_snapshot_checksum(self, generation_dir: Any, filename: str) -> None:
+        """Flip ``filename``'s recorded checksum inside a committed manifest.
+
+        Simulates silent content corruption that preserves byte length; the
+        loader must reject the generation on checksum mismatch.
+        """
+
+        manifest_path = Path(generation_dir) / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        entry = manifest["files"][filename]
+        entry["sha256"] = hashlib.sha256(b"corrupt:" + entry["sha256"].encode()).hexdigest()
+        with open(manifest_path, "w") as handle:  # repolint: disable=RL007 -- deliberate corruption
+            json.dump(manifest, handle)

@@ -26,10 +26,12 @@ import time
 import numpy as np
 import pytest
 
+import repro.ann.ivf as ivf_module
+from repro.ann import IVFIndex
 from repro.core import SCCF, SCCFConfig
 from repro.core.realtime import RealTimeServer, RecommendRequest
 from repro.serving import AsyncFrontend, FrontendStats, QueueFull
-from repro.testing import FaultInjector
+from repro.testing import FaultInjector, InjectedFault
 
 
 def _fresh_server(tiny_dataset, trained_fism, cache_capacity=None) -> RealTimeServer:
@@ -408,6 +410,124 @@ class TestChaos:
         # ... and the pool heals afterwards
         assert index.wait_until_healthy(timeout=30.0)
         assert server.health().healthy
+
+    @pytest.fixture()
+    def ivf_server(self, tiny_dataset, trained_fism):
+        sccf = SCCF(
+            trained_fism,
+            SCCFConfig(num_neighbors=10, candidate_list_size=30, merger_epochs=2, seed=3),
+            neighbor_index=IVFIndex(num_cells=4, n_probe=2, rng=np.random.default_rng(7)),
+        ).fit(tiny_dataset, fit_ui_model=False)
+        return RealTimeServer(sccf, tiny_dataset, default_deadline_ms=10_000.0)
+
+    def test_shadow_retrain_under_open_loop_burst(self, ivf_server, tiny_dataset, trained_fism):
+        """A background shadow retrain publishes mid-burst: every admitted
+        request is answered, no request ever sees the half-built shadow (the
+        epoch only moves at the publish poll), and the post-swap index is
+        bit-identical to a quiet synchronous retrain plus the same mutations."""
+
+        server = ivf_server
+        control_sccf = SCCF(
+            trained_fism,
+            SCCFConfig(num_neighbors=10, candidate_list_size=30, merger_epochs=2, seed=3),
+            neighbor_index=IVFIndex(num_cells=4, n_probe=2, rng=np.random.default_rng(7)),
+        ).fit(tiny_dataset, fit_ui_model=False)
+        control = RealTimeServer(control_sccf, tiny_dataset)
+        recommends, observes = _mixed_workload(tiny_dataset, num_requests=24, seed=11)
+        live = server.sccf.neighborhood.index
+
+        async def drive():
+            async with AsyncFrontend(server, max_batch=8, max_wait_ms=2.0) as frontend:
+                first = await asyncio.gather(
+                    *(frontend.recommend(u, k=5) for u in recommends[:12])
+                )
+                assert server.begin_shadow_maintenance(imbalance_threshold=0.5) is None
+                # burst keeps flowing while the worker re-clusters the clone;
+                # observes land on the live index and the journal
+                second = await asyncio.gather(
+                    *(frontend.recommend(u, k=5) for u in recommends[12:]),
+                    *(frontend.observe(u, i) for u, i in observes),
+                )
+                # nothing served from the half-built shadow: the live index
+                # object keeps serving until the publish poll below
+                assert server.sccf.neighborhood.index is live
+                epoch_at_publish = live.epoch
+                report = server.poll_shadow_maintenance(wait=True)
+                third = await asyncio.gather(
+                    *(frontend.recommend(u, k=5) for u in recommends)
+                )
+                return first, second, third, report, epoch_at_publish, frontend.stats
+
+        first, second, third, report, epoch_at_publish, stats = asyncio.run(drive())
+
+        # every admitted request got exactly one answer
+        assert len(first) + len(second) + len(third) == 2 * len(recommends) + len(observes)
+        assert all(isinstance(r, list) for r in first + third)
+        assert stats.recommend_requests == 2 * len(recommends)
+        assert stats.observe_requests == len(observes)
+        assert server.recommend_failures == 0
+
+        # the swap happened exactly once, with the mid-burst mutations replayed
+        assert report is not None and report.retrained and report.shadow
+        assert report.journaled_mutations >= 1
+        assert server.sccf.neighborhood.index is not live
+        assert server.sccf.neighborhood.index.epoch >= epoch_at_publish + 1
+        assert server.health().last_maintenance_error is None
+
+        # bit-identity vs. a quiet sync retrain followed by the same mutations
+        control.maintain(imbalance_threshold=0.5, shadow=True)
+        control.observe_batch(list(observes))
+        expected = [control.recommend(u, k=5) for u in recommends]
+        assert list(third) == expected
+
+    def test_shadow_failure_under_burst_leaves_serving_available(
+        self, ivf_server, tiny_dataset, monkeypatch
+    ):
+        """A shadow build that dies mid-burst is contained: the burst is still
+        fully answered from the untouched live index, the failure lands in
+        ``health()``, and the next retrain succeeds."""
+
+        server = ivf_server
+        recommends, observes = _mixed_workload(tiny_dataset, num_requests=16, seed=13)
+        live = server.sccf.neighborhood.index
+
+        def exploding_kmeans(*args, **kwargs):
+            raise InjectedFault("kmeans died mid-recluster")
+
+        monkeypatch.setattr(ivf_module, "kmeans", exploding_kmeans)
+
+        async def drive():
+            async with AsyncFrontend(server, max_batch=8, max_wait_ms=2.0) as frontend:
+                assert server.begin_shadow_maintenance(imbalance_threshold=0.5) is None
+                burst = await asyncio.gather(
+                    *(frontend.recommend(u, k=5) for u in recommends),
+                    *(frontend.observe(u, i) for u, i in observes),
+                )
+                with pytest.raises(InjectedFault):
+                    server.poll_shadow_maintenance(wait=True)
+                # serving never blinked: the live index answers after the wreck
+                after = await asyncio.gather(
+                    *(frontend.recommend(u, k=5) for u in recommends[:4])
+                )
+                return burst, after, frontend.stats
+
+        burst, after, stats = asyncio.run(drive())
+        monkeypatch.undo()
+
+        assert len(burst) == len(recommends) + len(observes)
+        assert all(isinstance(r, list) for r in after)
+        assert stats.recommend_requests == len(recommends) + 4
+        assert server.recommend_failures == 0
+        # live index still installed, failure on the record for operators
+        assert server.sccf.neighborhood.index is live
+        assert not server.sccf.neighborhood.index_journal_active
+        health = server.health()
+        assert health.last_maintenance_error is not None
+        assert "InjectedFault" in health.last_maintenance_error
+        # ... and the system recovers: the next shadow pass publishes
+        assert server.begin_shadow_maintenance(imbalance_threshold=0.5) is None
+        report = server.poll_shadow_maintenance(wait=True)
+        assert report is not None and report.retrained and report.error is None
 
 
 # --------------------------------------------------------------------- #

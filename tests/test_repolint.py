@@ -568,11 +568,129 @@ class TestSuppression:
 
 
 # --------------------------------------------------------------------- #
+# RL007 — atomic-snapshot-publish
+# --------------------------------------------------------------------- #
+class TestAtomicSnapshotPublish:
+    def test_bare_write_open_in_snapshot_function_fires(self):
+        findings = lint_snippet(
+            """
+            def save_snapshot(path, data):
+                with open(path, "wb") as handle:
+                    handle.write(data)
+            """
+        )
+        assert codes(findings) == ["RL007"]
+
+    def test_write_text_in_snapshot_module_fires(self):
+        findings = lint_sources(
+            {
+                "core/snapshot.py": textwrap.dedent(
+                    """
+                    def _store(path, text):
+                        path.write_text(text)
+                    """
+                )
+            }
+        )
+        assert codes(findings) == ["RL007"]
+
+    def test_atomic_write_helper_is_exempt(self):
+        findings = lint_sources(
+            {
+                "core/snapshot.py": textwrap.dedent(
+                    """
+                    import os
+
+                    def _atomic_write(path, data):
+                        with open(path, "wb") as handle:
+                            handle.write(data)
+                        os.replace(path, path)
+                    """
+                )
+            }
+        )
+        assert findings == []
+
+    def test_read_mode_open_passes(self):
+        findings = lint_snippet(
+            """
+            def read_snapshot(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+            """
+        )
+        assert findings == []
+
+    def test_non_snapshot_function_out_of_scope(self):
+        findings = lint_snippet(
+            """
+            def export_rows(path, rows):
+                with open(path, "w") as handle:
+                    handle.write(rows)
+            """
+        )
+        assert findings == []
+
+    def test_tuple_publish_fires(self):
+        findings = lint_snippet(
+            """
+            def publish(self, shadow, journal):
+                self.index, self.journal = shadow, journal
+            """
+        )
+        assert codes(findings) == ["RL007"]
+
+    def test_publish_of_inline_construction_fires(self):
+        findings = lint_snippet(
+            """
+            def maintain(self):
+                self.index = rebuild(self.index)
+            """
+        )
+        assert codes(findings) == ["RL007"]
+
+    def test_maintenance_helper_is_in_scope(self):
+        findings = lint_snippet(
+            """
+            def poll_shadow_maintenance(self, builds):
+                self.index = builds.pop()
+            """
+        )
+        assert codes(findings) == ["RL007"]
+
+    def test_single_name_swap_passes(self):
+        findings = lint_snippet(
+            """
+            def publish(self, shadow):
+                self.index = shadow
+            """
+        )
+        assert findings == []
+
+    def test_index_assignment_outside_publish_scope_passes(self):
+        findings = lint_snippet(
+            """
+            def fit(self, vectors):
+                self.index = build_index(vectors)
+            """
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
 # registry, selection, findings
 # --------------------------------------------------------------------- #
 class TestEngine:
-    def test_all_six_rules_registered(self):
-        assert sorted(RULES) == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+    def test_all_seven_rules_registered(self):
+        assert sorted(RULES) == [
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+        ]
         for rule_obj in RULES.values():
             assert rule_obj.name and rule_obj.description
 
@@ -646,7 +764,7 @@ class TestCli:
     def test_list_rules(self):
         proc = run_cli("--list-rules")
         assert proc.returncode == 0
-        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
             assert code in proc.stdout
 
 

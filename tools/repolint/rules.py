@@ -1,4 +1,4 @@
-"""The six serving-stack invariant rules (RL001–RL006).
+"""The seven serving-stack invariant rules (RL001–RL007).
 
 Each rule encodes one convention the serving stack depends on for
 correctness; the module docstring of :mod:`tools.repolint` and the README's
@@ -678,3 +678,162 @@ def check_worker_protocol(module: Module, run: LintRun) -> Iterator[Hit]:
                     ),
                     node,
                 )
+
+
+# ---------------------------------------------------------------------- #
+# RL007 — atomic-snapshot-publish
+# ---------------------------------------------------------------------- #
+
+#: function names (and the snapshot module itself) whose file writes must go
+#: through the crash-safe helper
+_SNAPSHOT_SCOPE_RE = re.compile(r"snapshot", re.I)
+#: function names in which an index reference swap must be atomic.  NOTE:
+#: "maintain" alone would miss "maintenance" helpers — "mainten" covers both.
+_PUBLISH_SCOPE_RE = re.compile(r"maintain|mainten|retrain|publish|swap", re.I)
+_WRITE_MODE_RE = re.compile(r"[wax+]")
+
+
+def _open_write_mode(call: ast.Call) -> bool:
+    """True when an ``open(...)`` call's mode makes the file writable."""
+
+    mode: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return False  # default "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return bool(_WRITE_MODE_RE.search(mode.value))
+    return True  # dynamic mode expression: fail closed
+
+
+@rule(
+    "RL007",
+    "atomic-snapshot-publish",
+    "snapshot files go through the atomic-write helper; index publish is one reference swap",
+)
+def check_atomic_snapshot_publish(module: Module, run: LintRun) -> Iterator[Hit]:
+    """Two crash-safety invariants of the blue/green serving stack.
+
+    **Clause A** — inside snapshot code (any function whose name mentions
+    "snapshot", or any function in a ``snapshot.py`` module, except the
+    sanctioned ``_atomic_write`` helper), no bare write-mode ``open()`` and
+    no ``write_text``/``write_bytes``: a crash mid-write would leave a
+    half-written file that looks committed.  All snapshot bytes reach disk
+    through tmp-file + fsync + atomic rename.
+
+    **Clause B** — inside maintenance/publish code (function names matching
+    maintain/mainten/retrain/publish/swap), an assignment to an ``.index``
+    attribute must be a *single* plain ``target.index = <name>`` swap — no
+    tuple unpacking, no chained targets, no inline construction — so readers
+    can never observe a half-retrained index.
+    """
+
+    in_snapshot_module = str(module.path).endswith("snapshot.py")
+    for func in ast.walk(module.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        snapshot_scope = (
+            in_snapshot_module or bool(_SNAPSHOT_SCOPE_RE.search(func.name))
+        ) and func.name != "_atomic_write"
+        publish_scope = bool(_PUBLISH_SCOPE_RE.search(func.name))
+        if not snapshot_scope and not publish_scope:
+            continue
+        for node in ast.walk(func):
+            if node is func or module.enclosing_function(node) is not func:
+                continue  # nested defs get their own pass
+            if snapshot_scope and isinstance(node, ast.Call):
+                callee = node.func
+                name = (
+                    callee.id
+                    if isinstance(callee, ast.Name)
+                    else callee.attr
+                    if isinstance(callee, ast.Attribute)
+                    else None
+                )
+                is_os_open = (
+                    isinstance(callee, ast.Attribute)
+                    and isinstance(callee.value, ast.Name)
+                    and callee.value.id == "os"
+                )  # os.open takes int flags, not a mode string
+                if name == "open" and not is_os_open and _open_write_mode(node):
+                    yield (
+                        Finding(
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            code="RL007",
+                            message=(
+                                f"write-mode open() inside snapshot path "
+                                f"{func.name}; a crash mid-write leaves a "
+                                "corrupt-but-present file"
+                            ),
+                            fixit=(
+                                "route the bytes through the snapshot "
+                                "module's _atomic_write (tmp + fsync + "
+                                "atomic rename)"
+                            ),
+                        ),
+                        node,
+                    )
+                elif name in ("write_text", "write_bytes") and isinstance(
+                    callee, ast.Attribute
+                ):
+                    yield (
+                        Finding(
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            code="RL007",
+                            message=(
+                                f"direct .{name}() inside snapshot path "
+                                f"{func.name}; a crash mid-write leaves a "
+                                "corrupt-but-present file"
+                            ),
+                            fixit=(
+                                "route the bytes through the snapshot "
+                                "module's _atomic_write (tmp + fsync + "
+                                "atomic rename)"
+                            ),
+                        ),
+                        node,
+                    )
+            if publish_scope and isinstance(
+                node, (ast.Assign, ast.AugAssign, ast.AnnAssign)
+            ):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                hits_index = any(
+                    isinstance(target, ast.Attribute) and target.attr == "index"
+                    for target in _flat_targets(list(targets))
+                )
+                if not hits_index:
+                    continue
+                compliant = (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                )
+                if not compliant:
+                    yield (
+                        Finding(
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            code="RL007",
+                            message=(
+                                f"index publish in {func.name} is not a "
+                                "single atomic reference swap"
+                            ),
+                            fixit=(
+                                "bind the fully built index to a local name "
+                                "first, then publish with one plain "
+                                "`<target>.index = <name>` assignment"
+                            ),
+                        ),
+                        node,
+                    )
