@@ -1,0 +1,254 @@
+"""Durability cost & recovery speed: what does the write-ahead log charge?
+
+Durability is a policy with a price, and this bench puts numbers on both
+sides of the trade:
+
+1. **Ingest cost** — the same seeded observe stream runs through four
+   identically built servers: no WAL (the free-but-volatile baseline), then
+   one per fsync policy (``always`` / ``batch`` / ``interval``).  The
+   headline is events/sec relative to the baseline; the acceptance bar for
+   the durability PR is **batch >= 0.8x non-durable** — group commit must
+   make journaling affordable, not a 2x tax.
+2. **Recovery time vs replay length** — snapshot once, journal N more
+   events, crash (no clean shutdown), recover via ``load_snapshot`` with the
+   journal attached.  Recovery time is measured across a grid of N, and every
+   recovered server is asserted **bit-identical** to the one that crashed
+   (same recommendations over a user sample).
+3. **Replica catch-up** — a cold replica tails the primary's journal through
+   ``catch_up`` and must converge to the same served lists; the bench
+   asserts it and reports the tail-replay rate.
+
+Run it directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py
+    PYTHONPATH=src python benchmarks/bench_durability.py --smoke   # tiny CI configuration
+
+Emits ``BENCH_durability.json`` next to the run (redirect with
+``$BENCH_RESULTS_DIR``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ann import IVFIndex
+from repro.core import SCCF, RealTimeServer, SCCFConfig
+from repro.core.wal import WriteAheadLog
+from repro.data import load_preset
+from repro.models import FISM
+
+from _bench_utils import emit_bench_json
+
+#: the acceptance bar: group commit keeps >= this fraction of raw ingest rate
+BATCH_POLICY_FLOOR = 0.8
+
+
+def build_server(
+    num_users: int,
+    num_items: int,
+    dim: int,
+    num_cells: int,
+    seed: int,
+    wal_dir: Optional[Path] = None,
+    fsync: str = "batch",
+) -> Tuple[RealTimeServer, object]:
+    """A fitted IVF-backed server on a synthetic dataset (fresh per episode)."""
+
+    dataset = load_preset(
+        "tiny",
+        seed=seed,
+        num_users=num_users,
+        num_items=num_items,
+        avg_interactions=20.0,
+        name="bench-durability",
+    )
+    model = FISM(embedding_dim=dim, num_epochs=0, seed=seed).fit(dataset)
+    sccf = SCCF(
+        model,
+        SCCFConfig(num_neighbors=20, candidate_list_size=60, merger_epochs=1, seed=seed),
+        neighbor_index=IVFIndex(
+            num_cells=num_cells, n_probe=2, rng=np.random.default_rng(seed)
+        ),
+    ).fit(dataset, fit_ui_model=False)
+    wal = None if wal_dir is None else WriteAheadLog(wal_dir, fsync=fsync)
+    return RealTimeServer(sccf, dataset, wal=wal), dataset
+
+
+def make_events(num_events: int, num_users: int, num_items: int, seed: int) -> List[Tuple[int, int]]:
+    rng = np.random.default_rng(seed)
+    return [
+        (int(rng.integers(0, num_users)), int(rng.integers(0, num_items)))
+        for _ in range(num_events)
+    ]
+
+
+def ingest_rate(server: RealTimeServer, events: List[Tuple[int, int]]) -> Dict:
+    """Closed-loop single-event ingest (the per-observe journaling path)."""
+
+    for user, item in events[:32]:  # warmup: BLAS paths, lazy buffers
+        server.observe(user, item)
+    start = time.perf_counter()
+    for user, item in events:
+        server.observe(user, item)
+    wall_s = time.perf_counter() - start
+    result = {"events": len(events), "wall_s": wall_s, "events_per_s": len(events) / wall_s}
+    if server.wal is not None:
+        stats = server.wal.stats()
+        result["fsyncs"] = stats.fsyncs
+        result["journal_bytes"] = stats.bytes_written
+    return result
+
+
+def recs(server: RealTimeServer, users: List[int], k: int) -> Dict[int, List[int]]:
+    return {user: server.recommend(user, k=k) for user in users}
+
+
+def bench_recovery(
+    args: argparse.Namespace, replay_length: int, sample_users: List[int]
+) -> Dict:
+    """Snapshot, journal ``replay_length`` events, crash, recover, compare."""
+
+    events = make_events(replay_length, args.num_users, args.num_items, args.seed + replay_length)
+    with tempfile.TemporaryDirectory() as root:
+        waldir, snapdir = Path(root) / "wal", Path(root) / "snap"
+        primary, dataset = build_server(
+            args.num_users, args.num_items, args.dim, args.num_cells,
+            args.seed, wal_dir=waldir, fsync="batch",
+        )
+        primary.save_snapshot(snapdir)
+        for user, item in events:
+            primary.observe(user, item)
+        primary.sync_wal()  # the bytes a crash would leave behind
+        expected = recs(primary, sample_users, args.k)
+
+        shell, _ = build_server(
+            args.num_users, args.num_items, args.dim, args.num_cells, args.seed
+        )
+        start = time.perf_counter()
+        recovered = RealTimeServer.load_snapshot(snapdir, shell.sccf, dataset, wal_dir=waldir)
+        recovery_s = time.perf_counter() - start
+        parity = recs(recovered, sample_users, args.k) == expected
+
+        replica_shell, _ = build_server(
+            args.num_users, args.num_items, args.dim, args.num_cells, args.seed
+        )
+        start = time.perf_counter()
+        replica = RealTimeServer.load_snapshot(snapdir, replica_shell.sccf, dataset)
+        applied = replica.catch_up(waldir)
+        replica_s = time.perf_counter() - start
+        replica_parity = recs(replica, sample_users, args.k) == expected
+        recovered.close()
+    assert parity, f"recovered server diverged at replay length {replay_length}"
+    assert replica_parity, f"replica diverged at replay length {replay_length}"
+    return {
+        "replay_length": replay_length,
+        "recovery_s": recovery_s,
+        "replayed_events_per_s": replay_length / recovery_s if recovery_s > 0 else None,
+        "recovered_bit_identical": parity,
+        "replica_records_applied": applied,
+        "replica_catch_up_s": replica_s,
+        "replica_bit_identical": replica_parity,
+    }
+
+
+def format_report(policies: Dict[str, Dict], recovery: List[Dict]) -> str:
+    base = policies["none"]["events_per_s"]
+    lines = ["durable ingestion: seeded observe stream, four durability settings"]
+    for name, row in policies.items():
+        rel = row["events_per_s"] / base
+        fsyncs = row.get("fsyncs", "-")
+        lines.append(
+            f"  {name:<9} {row['events_per_s']:>10.0f} events/s   "
+            f"{rel:>5.2f}x baseline   fsyncs: {fsyncs}"
+        )
+    lines.append("crash recovery: snapshot + journal tail, recovery wall time vs tail length")
+    for row in recovery:
+        lines.append(
+            f"  N={row['replay_length']:<6} recover {row['recovery_s'] * 1000.0:>7.1f} ms "
+            f"({row['replayed_events_per_s']:.0f} events/s)   "
+            f"replica catch-up {row['replica_catch_up_s'] * 1000.0:>7.1f} ms   "
+            f"bit-identical: {row['recovered_bit_identical'] and row['replica_bit_identical']}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> Dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-users", type=int, default=20_000)
+    parser.add_argument("--num-items", type=int, default=1200)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--num-cells", type=int, default=32)
+    parser.add_argument("--num-events", type=int, default=4000)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=29)
+    parser.add_argument(
+        "--replay-grid", type=int, nargs="+", default=[500, 1000, 2000, 4000],
+        help="journal tail lengths for the recovery-time measurement",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI configuration: just proves the bench runs end to end",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.num_users, args.num_items, args.num_events = 400, 200, 300
+        args.num_cells = 8
+        args.replay_grid = [50, 150]
+
+    events = make_events(args.num_events, args.num_users, args.num_items, args.seed)
+    policies: Dict[str, Dict] = {}
+    for name in ("none", "always", "batch", "interval"):
+        with tempfile.TemporaryDirectory() as root:
+            wal_dir = None if name == "none" else Path(root) / "wal"
+            server, _ = build_server(
+                args.num_users, args.num_items, args.dim, args.num_cells,
+                args.seed, wal_dir=wal_dir, fsync=name if wal_dir else "batch",
+            )
+            policies[name] = ingest_rate(server, events)
+            server.close()
+
+    batch_ratio = policies["batch"]["events_per_s"] / policies["none"]["events_per_s"]
+    batch_ok = batch_ratio >= BATCH_POLICY_FLOOR
+
+    rng = np.random.default_rng(args.seed)
+    sample_users = sorted(int(u) for u in rng.choice(args.num_users, size=16, replace=False))
+    recovery = [bench_recovery(args, length, sample_users) for length in args.replay_grid]
+
+    print(format_report(policies, recovery))
+    print(
+        f"batch policy keeps {batch_ratio:.2f}x of non-durable ingest "
+        f"(floor {BATCH_POLICY_FLOOR:.1f}x): {'OK' if batch_ok else 'BELOW FLOOR'}"
+    )
+
+    report = {
+        "cores": os.cpu_count(),
+        "config": {
+            "num_users": args.num_users,
+            "num_items": args.num_items,
+            "dim": args.dim,
+            "num_cells": args.num_cells,
+            "num_events": args.num_events,
+            "k": args.k,
+            "replay_grid": args.replay_grid,
+            "seed": args.seed,
+        },
+        "ingest": policies,
+        "batch_vs_baseline": batch_ratio,
+        "batch_policy_floor": BATCH_POLICY_FLOOR,
+        "batch_policy_ok": batch_ok,
+        "recovery": recovery,
+    }
+    emit_bench_json("durability", report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,9 @@ from .realtime import (
     RealTimeServer,
 )
 from .sccf import SCCF, SCCFConfig
+from .snapshot import SnapshotError, SnapshotNotFoundError, SnapshotPayload
 from .user_neighborhood import UserNeighborhoodComponent
+from .wal import WALError, WALStats, WriteAheadLog, replay_wal
 
 __all__ = [
     "UserNeighborhoodComponent",
@@ -32,4 +34,11 @@ __all__ = [
     "CacheStats",
     "LayerStats",
     "LRUCache",
+    "SnapshotError",
+    "SnapshotNotFoundError",
+    "SnapshotPayload",
+    "WALError",
+    "WALStats",
+    "WriteAheadLog",
+    "replay_wal",
 ]

@@ -62,6 +62,7 @@ from ..models.base import exclude_seen_items
 from .cache import MISS
 from .sccf import _NEG_INF, SCCF
 from .snapshot import read_snapshot, write_snapshot
+from .wal import WriteAheadLog, decode_payload, encode_events, encode_maintain, replay_wal
 
 __all__ = [
     "HealthReport",
@@ -144,6 +145,15 @@ class HealthReport:
     last_maintenance_error: Optional[str] = None
     #: serving-cache counters (None when no cache is attached)
     cache: Optional[object] = None
+    #: journaled records not yet covered by a snapshot — the replay length a
+    #: crash right now would pay (None when no WAL is attached)
+    wal_lag: Optional[int] = None
+    #: fsyncs the journal has issued — the observable group-commit cadence
+    wal_fsyncs: Optional[int] = None
+    #: journal fsyncs that failed (each one surfaced as a WALError)
+    wal_fsync_failures: Optional[int] = None
+    #: full :class:`~repro.core.wal.WALStats` (None when no WAL is attached)
+    wal: Optional[object] = None
 
 
 @dataclass
@@ -283,6 +293,20 @@ class RealTimeServer:
         is still returned (the work is already done — discarding it helps
         nobody) but counted in ``deadline_misses``, the signal an operator
         alarms on.  ``None`` (default) disables deadline tracking.
+    wal_dir:
+        When set, attach a :class:`~repro.core.wal.WriteAheadLog` over this
+        directory and journal every ``observe_batch`` payload (and every
+        retraining ``maintain`` pass) *before* applying it, so recovery is
+        snapshot + journal replay — see :meth:`save_snapshot` /
+        :meth:`load_snapshot` / :meth:`catch_up`.  ``None`` (default) keeps
+        ingestion non-durable, exactly as before.
+    wal_fsync:
+        Durability policy for the attached journal — ``"always"``,
+        ``"batch"`` or ``"interval"`` (ignored without ``wal_dir``).
+    wal:
+        A pre-constructed :class:`~repro.core.wal.WriteAheadLog` to attach
+        instead (full control over batch size, interval, rotation);
+        mutually exclusive with ``wal_dir``.
     """
 
     #: distinguishes servers sharing one SCCF in the cache's request keys —
@@ -298,6 +322,9 @@ class RealTimeServer:
         maintenance_every: Optional[int] = None,
         activity_window: int = 4096,
         default_deadline_ms: Optional[float] = None,
+        wal_dir: Optional["str | Path"] = None,
+        wal_fsync: str = "batch",
+        wal: Optional[WriteAheadLog] = None,
     ) -> None:
         if not getattr(sccf, "_fitted", False):
             raise ValueError("SCCF must be fitted before serving")
@@ -343,6 +370,21 @@ class RealTimeServer:
         self.last_maintenance: Optional[MaintenanceReport] = None
         #: the in-flight background shadow retrain, if any
         self._shadow_build: Optional[_ShadowBuild] = None
+        if wal is not None and wal_dir is not None:
+            raise ValueError("pass either wal_dir or wal, not both")
+        if wal is None and wal_dir is not None:
+            wal = WriteAheadLog(Path(wal_dir), fsync=wal_fsync)
+        #: the attached write-ahead journal (None: ingestion is not durable)
+        self.wal = wal
+        #: highest journal sequence whose effects this server's state holds.
+        #: Plain construction assumes the in-memory state is current with the
+        #: journal tail; :meth:`load_snapshot` rewinds it to the snapshot's
+        #: covered sequence before replaying.
+        self._wal_applied_seq = wal.last_seq if wal is not None else 0
+        #: True while :meth:`catch_up` replays journal records — suppresses
+        #: re-journaling and scheduler notifications (replay must not write
+        #: duplicate records or trigger new maintenance passes of its own)
+        self._replaying = False
         self.scheduler: Optional[MaintenanceScheduler] = (
             MaintenanceScheduler(self, every_events=maintenance_every)
             if maintenance_every is not None
@@ -415,6 +457,13 @@ class RealTimeServer:
         so the per-event samples in ``observe_request_latencies`` include
         queue wait; direct callers omit it and each event is dated to this
         call's entry.
+
+        With a WAL attached the validated batch is journaled *before* it is
+        applied (write-ahead, one record per call), so a crash at any later
+        point replays it from disk; a journal append failure (fsync error
+        under ``"always"``) raises before any state is touched, and the
+        caller — :class:`EventBuffer` restores its events, the async
+        front-end fans the error out — can retry without losing anything.
         """
 
         entry = time.perf_counter()
@@ -425,6 +474,23 @@ class RealTimeServer:
             validated.append(self._validate_event(user_id, item_id))
         if not validated:
             return None
+        if self.wal is not None and not self._replaying:
+            self._wal_applied_seq = self.wal.append(encode_events(validated))
+        return self._apply_observe_batch(validated, request_starts, entry)
+
+    def _apply_observe_batch(
+        self,
+        validated: List[Tuple[int, int]],
+        request_starts: Optional[Sequence[float]],
+        entry: float,
+    ) -> LatencyBreakdown:
+        """Apply one already-validated (and already-journaled) event batch.
+
+        The second half of :meth:`observe_batch`, shared with journal replay
+        (:meth:`catch_up`) so a recovered server mutates its state through
+        exactly the code the original server ran — the precondition for
+        bit-identical recovery.
+        """
 
         touched: List[int] = []
         seen: set = set()
@@ -486,7 +552,10 @@ class RealTimeServer:
         starts = request_starts if request_starts is not None else [entry] * len(validated)
         for request_start in starts:
             self.observe_request_latencies.append((finish - request_start) * 1000.0)
-        if self.scheduler is not None:
+        if self.scheduler is not None and not self._replaying:
+            # Replay must not fire fresh maintenance passes of its own: the
+            # passes that actually ran pre-crash are journal records and are
+            # re-applied in their original stream positions.
             self.scheduler.notify(len(validated))
         return breakdown
 
@@ -577,7 +646,20 @@ class RealTimeServer:
             journaled_mutations=journaled,
         )
         self.last_maintenance = report
+        if retrained:
+            # A retrain consumes the index RNG stream and bumps the epoch —
+            # replay must re-run it at exactly this stream position for the
+            # recovered server to stay bit-identical.  The *resolved*
+            # threshold is recorded so replay retrains unconditionally-equal.
+            self._journal_maintain(imbalance_threshold, use_shadow)
         return report
+
+    def _journal_maintain(self, threshold: float, shadow: bool) -> None:
+        """Journal one retraining maintenance pass (no-op without a WAL)."""
+
+        if self.wal is None or self._replaying:
+            return
+        self._wal_applied_seq = self.wal.append(encode_maintain(threshold, shadow))
 
     def _shadow_retrain(
         self, index: Any, before: float, threshold: float, start: float
@@ -757,6 +839,13 @@ class RealTimeServer:
             journaled_mutations=journaled,
         )
         self.last_maintenance = report
+        # Journaled at *publish* time — the stream position at which the new
+        # index became visible.  Replay re-clusters a clone taken at this
+        # position, so it holds the same rows and lands on the same epoch;
+        # only the cell assignments may differ from a build whose clone
+        # predated the interleaved observes (synchronous maintenance has no
+        # such window and replays bit-identically).
+        self._journal_maintain(build.threshold, True)
         return report
 
     def prefill_cache(self, num_users: int) -> List[int]:
@@ -1034,6 +1123,7 @@ class RealTimeServer:
             # in-place (non-shadow) failures never produce a report object —
             # the scheduler's containment record is the only trace
             last_error = scheduler.last_failure
+        wal_stats = self.wal.stats() if self.wal is not None else None
         return HealthReport(
             healthy=healthy,
             shards=shards,
@@ -1054,6 +1144,12 @@ class RealTimeServer:
             ),
             last_maintenance_error=last_error,
             cache=stats,
+            wal_lag=wal_stats.lag if wal_stats is not None else None,
+            wal_fsyncs=wal_stats.fsyncs if wal_stats is not None else None,
+            wal_fsync_failures=(
+                wal_stats.fsync_failures if wal_stats is not None else None
+            ),
+            wal=wal_stats,
         )
 
     # ------------------------------------------------------------------ #
@@ -1071,8 +1167,18 @@ class RealTimeServer:
         tmp-file + fsync + atomic rename with a manifest committed last, so
         a crash mid-write can never leave a loadable-but-corrupt snapshot
         (see :mod:`repro.core.snapshot`).  Returns the generation directory.
+
+        With a WAL attached the manifest additionally records the highest
+        journal sequence this state covers, and journal segments wholly
+        below it are pruned after the commit — the snapshot *is* the
+        checkpoint, so the journal stays bounded and recovery replays only
+        the records newer than the generation it loads.
         """
 
+        if keep < 1:
+            # write_snapshot would reject this too, but only after the walk
+            # over every user history — validate before any work is done.
+            raise ValueError("keep must be at least 1")
         if self._shadow_build is not None:
             raise RuntimeError("cannot snapshot while a shadow maintenance build is running")
         users = sorted(self._states)
@@ -1101,7 +1207,16 @@ class RealTimeServer:
             "sccf": self.sccf.snapshot_state(),
         }
         epoch = int(getattr(self.sccf.neighborhood.index, "epoch", 0))
-        return write_snapshot(Path(directory), state, epoch=epoch, keep=keep)
+        generation = write_snapshot(
+            Path(directory), state, epoch=epoch, keep=keep, wal_seq=self._wal_applied_seq
+        )
+        if self.wal is not None:
+            # The manifest is committed: every record at or below the covered
+            # sequence is redundant with this generation, so fully covered
+            # segments can go.  (Records in the active segment survive until
+            # rotation — pruning is per segment, never per record.)
+            self.wal.prune(self._wal_applied_seq)
+        return generation
 
     @classmethod
     def load_snapshot(
@@ -1121,8 +1236,15 @@ class RealTimeServer:
         the snapshot; everything mutable is restored from disk.  ``dataset``
         re-supplies the training histories (they belong to the dataset, not
         the snapshot).  Keyword overrides replace any saved server
-        constructor argument (e.g. ``maintenance_every``).  The restored
-        server serves bit-identically to the one that saved.
+        constructor argument (e.g. ``maintenance_every``) and may add WAL
+        wiring (``wal_dir=`` / ``wal=``).  The restored server serves
+        bit-identically to the one that saved.
+
+        When a WAL is attached, recovery finishes the job: the manifest's
+        covered sequence rewinds the applied-position marker and
+        :meth:`catch_up` replays every journal record the snapshot does not
+        already contain — so a server that crashed *after* its last snapshot
+        comes back holding the journaled tail too, not just the snapshot.
         """
 
         payload = read_snapshot(Path(directory))
@@ -1149,7 +1271,54 @@ class RealTimeServer:
                 history=values[int(offsets[i]) : int(offsets[i + 1])].tolist()
             )
         server._states = states
+        server._wal_applied_seq = payload.wal_seq
+        if server.wal is not None:
+            server.catch_up(server.wal.directory)
         return server
+
+    def catch_up(self, wal_dir: "str | Path") -> int:
+        """Replay journal records this server has not applied yet.
+
+        Reads ``wal_dir`` through the read-only scanner (never truncating —
+        safe against a *live* primary's journal) and applies every committed
+        record with a sequence beyond ``_wal_applied_seq``, in order:
+        event records re-run :meth:`_apply_observe_batch`, maintenance
+        records re-run :meth:`maintain` with the recorded resolved threshold.
+        Replay is marked (``_replaying``) so nothing is re-journaled and the
+        scheduler stays quiet.  Returns the number of records applied.
+
+        Two callers: crash recovery (:meth:`load_snapshot` replaying the
+        server's own journal tail) and replica tailing — a cold-started
+        replica pointing at the primary's journal directory calls this
+        periodically and converges to the primary's exact state.
+        """
+
+        applied = 0
+        for seq, payload in replay_wal(Path(wal_dir), after_seq=self._wal_applied_seq):
+            kind, body = decode_payload(payload)
+            self._replaying = True
+            try:
+                if kind == "events":
+                    events = [self._validate_event(user, item) for user, item in body]
+                    self._apply_observe_batch(events, None, time.perf_counter())
+                else:
+                    self.maintain(float(body["threshold"]), shadow=bool(body["shadow"]))
+            finally:
+                self._replaying = False
+            self._wal_applied_seq = seq
+            applied += 1
+        return applied
+
+    def sync_wal(self) -> None:
+        """Force-flush the attached journal (no-op without one).
+
+        The shutdown hook: lazy fsync policies (``"batch"``/``"interval"``)
+        may hold a tail of acknowledged records in the OS cache — a clean
+        shutdown calls this so that tail is never forfeited.
+        """
+
+        if self.wal is not None:
+            self.wal.sync()
 
     def history(self, user_id: int) -> List[int]:
         return list(self._states.get(user_id, _UserState()).history)
@@ -1201,9 +1370,16 @@ class RealTimeServer:
         request-key serial), close once, after the last of them is done,
         rather than per server.  On the process backend a premature close is
         terminal for every sibling.
+
+        An attached journal is closed too (flushing any group-commit tail),
+        even when the SCCF teardown raises.
         """
 
-        self.sccf.close()
+        try:
+            self.sccf.close()
+        finally:
+            if self.wal is not None:
+                self.wal.close()
 
     def __enter__(self) -> "RealTimeServer":
         return self
@@ -1235,6 +1411,15 @@ class MaintenanceScheduler:
     the build publishes — ingestion never stalls for the length of a
     retrain.  ``shadow=False`` (synchronous mode only) forces the legacy
     in-place retrain, which mutates the serving index mid-pass.
+
+    ``checkpoint_every=N`` adds WAL checkpointing on the same off-hot-path
+    cadence machinery: every N observed events the server snapshots into
+    ``snapshot_dir`` (``keep=snapshot_keep`` generations), which records the
+    covered journal sequence and prunes committed segments — so a durable
+    server's journal (and its recovery replay time) stays bounded without
+    any caller-side timer.  Checkpoint failures are contained exactly like
+    maintenance failures (counted in ``checkpoint_failures``, recorded on
+    ``last_failure``, never propagated into the triggering observe).
     """
 
     def __init__(
@@ -1246,6 +1431,9 @@ class MaintenanceScheduler:
         prefill_users: Optional[int] = None,
         shadow: bool = True,
         background: bool = False,
+        checkpoint_every: Optional[int] = None,
+        snapshot_dir: Optional["str | Path"] = None,
+        snapshot_keep: int = 2,
     ) -> None:
         if every_events <= 0:
             raise ValueError("every_events must be positive")
@@ -1253,6 +1441,12 @@ class MaintenanceScheduler:
             raise ValueError("report_window must be positive")
         if prefill_users is not None and prefill_users <= 0:
             raise ValueError("prefill_users must be positive")
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        if checkpoint_every is not None and snapshot_dir is None:
+            raise ValueError("checkpoint_every requires snapshot_dir")
+        if snapshot_keep < 1:
+            raise ValueError("snapshot_keep must be at least 1")
         self.server = server
         self.every_events = every_events
         self.imbalance_threshold = imbalance_threshold
@@ -1277,6 +1471,15 @@ class MaintenanceScheduler:
         #: latency windows (a long-running server triggers forever, so an
         #: unbounded list would be a memory leak)
         self.reports: Deque[MaintenanceReport] = deque(maxlen=report_window)
+        #: WAL checkpointing cadence (None: scheduler never snapshots)
+        self.checkpoint_every = checkpoint_every
+        self.snapshot_dir = None if snapshot_dir is None else Path(snapshot_dir)
+        self.snapshot_keep = snapshot_keep
+        self.events_since_checkpoint = 0
+        #: snapshots taken (and journals pruned) by this scheduler
+        self.checkpoints_run = 0
+        #: checkpoint attempts that raised (contained, like maintenance)
+        self.checkpoint_failures = 0
 
     def notify(self, num_events: int = 1) -> Optional[MaintenanceReport]:
         """Count ``num_events`` freshly observed events; maybe run maintenance.
@@ -1295,10 +1498,22 @@ class MaintenanceScheduler:
         slice of ingestion throughput rather than retrying at full cadence.
         Direct :meth:`RealTimeServer.maintain` calls still raise; operators
         asking explicitly deserve the traceback.
+
+        With ``checkpoint_every`` set, the same call also advances the WAL
+        checkpoint counter and snapshots when it trips — after the
+        maintenance decision, so a checkpoint lands on the *post*-retrain
+        state and covers the retrain's own journal record.
         """
 
         if num_events < 0:
             raise ValueError("num_events must be non-negative")
+        report = self._advance_maintenance(num_events)
+        self._maybe_checkpoint(num_events)
+        return report
+
+    def _advance_maintenance(self, num_events: int) -> Optional[MaintenanceReport]:
+        """The maintenance half of :meth:`notify` (counter, trigger, containment)."""
+
         self.events_since_maintenance += num_events
         polled: Optional[MaintenanceReport] = None
         if self.background:
@@ -1333,6 +1548,27 @@ class MaintenanceScheduler:
                 return None
         self._record_success(report)
         return report
+
+    def _maybe_checkpoint(self, num_events: int) -> None:
+        """The checkpoint half of :meth:`notify`: snapshot (and prune) on cadence."""
+
+        if self.checkpoint_every is None:
+            return
+        self.events_since_checkpoint += num_events
+        if self.events_since_checkpoint < self.checkpoint_every:
+            return
+        self.events_since_checkpoint = 0
+        assert self.snapshot_dir is not None  # enforced by the constructor
+        try:
+            self.server.save_snapshot(self.snapshot_dir, keep=self.snapshot_keep)
+        except Exception as exc:
+            # Same containment contract as maintenance: the observe that
+            # happened to trip the counter must not fail because a snapshot
+            # (e.g. one refused mid-shadow-build) did.
+            self.checkpoint_failures += 1
+            self.last_failure = f"{type(exc).__name__}: {exc}"
+        else:
+            self.checkpoints_run += 1
 
     def _poll_background(self) -> Optional[MaintenanceReport]:
         """Advance (and account for) the in-flight background build, if any."""

@@ -44,6 +44,7 @@ import numpy as np
 __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
     "SnapshotError",
+    "SnapshotNotFoundError",
     "SnapshotPayload",
     "list_generations",
     "read_snapshot",
@@ -63,6 +64,18 @@ class SnapshotError(RuntimeError):
     """A snapshot cannot be written, or fails its integrity verification."""
 
 
+class SnapshotNotFoundError(SnapshotError):
+    """No committed generation exists where one was expected.
+
+    Raised when a snapshot root does not exist, holds no committed
+    generation, or its ``CURRENT`` pointer names a generation that is gone
+    (pruned, or lost with its directory) — the "nothing to load" cases a
+    caller may want to handle by bootstrapping fresh state, as opposed to
+    the integrity failures a plain :class:`SnapshotError` reports (which
+    mean data *exists* but cannot be trusted).
+    """
+
+
 @dataclass
 class SnapshotPayload:
     """What :func:`read_snapshot` returns: verified state plus provenance."""
@@ -71,6 +84,8 @@ class SnapshotPayload:
     epoch: int
     generation: int
     path: Path
+    #: highest WAL sequence the snapshot covers (0: no journal was attached)
+    wal_seq: int = 0
 
 
 # ---------------------------------------------------------------------- #
@@ -212,15 +227,24 @@ def _resolve_generation(path: Path) -> Path:
     if (path / _MANIFEST).is_file():
         return path
     if _GENERATION_RE.match(path.name):
-        raise SnapshotError(f"snapshot {path} has no manifest (interrupted write?)")
+        if path.is_dir():
+            raise SnapshotError(f"snapshot {path} has no manifest (interrupted write?)")
+        raise SnapshotNotFoundError(
+            f"snapshot generation {path} does not exist (pruned, or never written)"
+        )
     if not path.is_dir():
-        raise SnapshotError(f"snapshot directory {path} does not exist")
+        raise SnapshotNotFoundError(f"snapshot directory {path} does not exist")
     current = path / _CURRENT
     if current.is_file():
         name = current.read_text().strip()
         candidate = path / name
         if (candidate / _MANIFEST).is_file():
             return candidate
+        if not candidate.is_dir():
+            raise SnapshotNotFoundError(
+                f"CURRENT points at generation {name!r} but it no longer exists "
+                f"under {path} (pruned, or lost with its directory)"
+            )
         raise SnapshotError(
             f"CURRENT points at {name!r} but {candidate / _MANIFEST} is missing"
         )
@@ -228,7 +252,7 @@ def _resolve_generation(path: Path) -> Path:
         entry for entry in list_generations(path) if (entry / _MANIFEST).is_file()
     ]
     if not committed:
-        raise SnapshotError(f"no committed snapshot generation under {path}")
+        raise SnapshotNotFoundError(f"no committed snapshot generation under {path}")
     return committed[-1]
 
 
@@ -254,13 +278,17 @@ def write_snapshot(
     state: Dict[str, Any],
     epoch: int = 0,
     keep: int = 2,
+    wal_seq: int = 0,
 ) -> Path:
     """Commit ``state`` as a new generation under ``root``; returns its path.
 
     ``state`` is an arbitrarily nested tree of JSON-safe values and
     ``ndarray`` leaves.  ``epoch`` (the serving index epoch at save time) is
-    recorded in the manifest for observability.  The ``keep`` newest
-    committed generations are retained, older ones pruned.
+    recorded in the manifest for observability.  ``wal_seq`` — the highest
+    write-ahead-log sequence whose effects ``state`` includes — is recorded
+    so recovery knows where snapshot coverage ends and journal replay must
+    begin (0 means no journal was involved).  The ``keep`` newest committed
+    generations are retained, older ones pruned.
     """
 
     if keep < 1:
@@ -296,6 +324,7 @@ def write_snapshot(
         "format_version": SNAPSHOT_FORMAT_VERSION,
         "epoch": int(epoch),
         "generation": number,
+        "wal_seq": int(wal_seq),
         "files": entries,
     }
     # The manifest is the commit point: it lands last, so its existence
@@ -363,6 +392,7 @@ def read_snapshot(path: Union[str, Path]) -> SnapshotPayload:
         epoch=int(manifest.get("epoch", 0)),
         generation=_generation_number(generation),
         path=generation,
+        wal_seq=int(manifest.get("wal_seq", 0)),
     )
 
 

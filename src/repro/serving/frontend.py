@@ -173,6 +173,11 @@ class AsyncFrontend:
         assert self._recommend_queue is not None and self._observe_queue is not None
         await self._recommend_queue.join()
         await self._observe_queue.join()
+        # Every admitted observe has now been applied — but under a lazy
+        # fsync policy ("batch"/"interval") the tail of the journal may
+        # still sit in the OS cache.  Flush it before the drainers die:
+        # an event we acknowledged to its caller must survive the shutdown.
+        self.server.sync_wal()
         for task in self._drainers:
             task.cancel()
         await asyncio.gather(*self._drainers, return_exceptions=True)

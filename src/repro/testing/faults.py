@@ -29,6 +29,11 @@ The injector attacks the real mechanisms, not mocks:
   a crash between tmp-write and atomic rename, a partially written segment,
   a flipped checksum — each must leave the previous committed generation
   loadable and make the damaged one fail loudly.
+* :meth:`crash_wal_mid_append` / :meth:`torn_wal_tail` / :meth:`flip_wal_byte`
+  / :meth:`fail_wal_fsync` attack the write-ahead log: a process killed
+  halfway through a record write, a tail sheared off by a power cut, a bit
+  flipped on disk, a disk that refuses to fsync — recovery must keep every
+  record before the damage and drop everything at and after it.
 
 Everything observable about the injector is derived from its ``seed``; two
 injectors with the same seed attack the same shards in the same order.
@@ -304,3 +309,115 @@ class FaultInjector:
         entry["sha256"] = hashlib.sha256(b"corrupt:" + entry["sha256"].encode()).hexdigest()
         with open(manifest_path, "w") as handle:  # repolint: disable=RL007 -- deliberate corruption
             json.dump(manifest, handle)
+
+    # ------------------------------------------------------------------ #
+    # write-ahead-log faults
+    # ------------------------------------------------------------------ #
+    def crash_wal_mid_append(self, times: int = 1, keep_bytes: Optional[int] = None) -> None:
+        """Kill the process halfway through the next ``times`` record writes.
+
+        Patches the WAL module's byte sink so it writes only a (seeded)
+        prefix of the encoded record before raising — the on-disk state a
+        SIGKILL or power cut leaves mid-``write``.  ``keep_bytes`` pins the
+        prefix length; by default it is drawn uniformly from
+        ``[0, len(record))``, so repeated faults tear headers and payloads
+        alike.  The patch removes itself after ``times`` injected crashes;
+        recovery (reopening the log) must truncate the torn record and keep
+        everything before it.
+        """
+
+        if times <= 0:
+            raise ValueError("times must be positive")
+        from ..core import wal as wal_module
+
+        original = wal_module._write_encoded
+        remaining = [times]
+        rng = self._rng
+
+        def torn_write(handle: Any, data: bytes) -> None:
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    wal_module._write_encoded = original
+                prefix = keep_bytes if keep_bytes is not None else int(rng.integers(0, len(data)))
+                if not 0 <= prefix < len(data):
+                    raise ValueError("keep_bytes must be shorter than the record")
+                handle.write(data[:prefix])  # repolint: disable=RL008 -- deliberate torn write
+                raise InjectedFault(
+                    f"injected crash after {prefix}/{len(data)} bytes of a journal record"
+                )
+            original(handle, data)
+
+        wal_module._write_encoded = torn_write
+
+    def fail_wal_fsync(self, times: int = 1) -> None:
+        """Make the next ``times`` journal fsyncs raise (disk refusing to flush).
+
+        Patches the WAL module's fsync seam; the log must surface the lost
+        durability guarantee as a :class:`~repro.core.wal.WALError` and count
+        the failure, not swallow it.  Self-removing after ``times`` faults.
+        """
+
+        if times <= 0:
+            raise ValueError("times must be positive")
+        from ..core import wal as wal_module
+
+        original = wal_module._fsync_file
+        remaining = [times]
+
+        def failing_fsync(handle: Any) -> None:
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    wal_module._fsync_file = original
+                raise InjectedFault("injected fsync failure")
+            original(handle)
+
+        wal_module._fsync_file = failing_fsync
+
+    def torn_wal_tail(self, wal_dir: Any, drop_bytes: Optional[int] = None) -> int:
+        """Shear bytes off the end of the journal's last segment (power cut).
+
+        Drops ``drop_bytes`` from the tail — seeded in ``[1, size]`` when not
+        given — and returns the number dropped.  Recovery must keep every
+        record that still ends before the tear and discard the rest.
+        """
+
+        segments = self._wal_segments(wal_dir)
+        tail = segments[-1]
+        data = tail.read_bytes()
+        if drop_bytes is None:
+            drop_bytes = int(self._rng.integers(1, len(data) + 1))
+        if not 1 <= drop_bytes <= len(data):
+            raise ValueError("drop_bytes must be within the segment")
+        with open(tail, "wb") as handle:
+            handle.write(data[: len(data) - drop_bytes])  # repolint: disable=RL008 -- deliberate corruption
+        return drop_bytes
+
+    def flip_wal_byte(self, wal_dir: Any, offset: Optional[int] = None) -> int:
+        """XOR one byte of the journal's last segment (silent bit rot).
+
+        ``offset`` defaults to a seeded position; returns the offset flipped.
+        The CRC must catch the damage: recovery and replay both stop at the
+        record containing the flipped byte.
+        """
+
+        segments = self._wal_segments(wal_dir)
+        tail = segments[-1]
+        data = bytearray(tail.read_bytes())
+        if offset is None:
+            offset = int(self._rng.integers(0, len(data)))
+        if not 0 <= offset < len(data):
+            raise ValueError("offset must be within the segment")
+        data[offset] ^= 0xFF
+        with open(tail, "wb") as handle:
+            handle.write(bytes(data))  # repolint: disable=RL008 -- deliberate corruption
+        return offset
+
+    def _wal_segments(self, wal_dir: Any) -> List[Path]:
+        from ..core import wal as wal_module
+
+        segments = wal_module._segment_files(Path(wal_dir))
+        if not segments or segments[-1].stat().st_size == 0:
+            raise RuntimeError(f"no journal bytes to corrupt under {wal_dir}")
+        return segments

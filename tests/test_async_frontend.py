@@ -552,6 +552,39 @@ class TestLifecycle:
 
         asyncio.run(scenario())
 
+    def test_close_drains_observes_through_wal(self, tiny_dataset, trained_fism, tmp_path):
+        # A lazy fsync policy that never flushes on its own: if close() did
+        # not force a sync after draining the observe window, acknowledged
+        # events would sit in the OS cache when the process exits.
+        from repro.core.wal import WriteAheadLog, decode_payload, replay_wal
+
+        server = _fresh_server(tiny_dataset, trained_fism)
+        server.wal = WriteAheadLog(tmp_path, fsync="interval", interval_ms=1e9)
+        users = tiny_dataset.evaluation_users()[:4]
+        events = [(int(user), 1 + i) for i, user in enumerate(users)]
+
+        async def scenario():
+            frontend = AsyncFrontend(server, max_batch=64, max_wait_ms=50.0)
+            await frontend.start()
+            pending = [
+                asyncio.ensure_future(frontend.observe(u, i)) for u, i in events
+            ]
+            await asyncio.sleep(0)  # admitted, window still open
+            await frontend.close()
+            await asyncio.gather(*pending)
+
+        asyncio.run(scenario())
+        stats = server.wal.stats()
+        assert stats.fsyncs >= 1  # close() forced the flush the policy never would
+        assert stats.pending == 0  # nothing acknowledged is still cache-only
+        journaled = [
+            pair
+            for _, payload in replay_wal(tmp_path)
+            for pair in decode_payload(payload)[1]
+        ]
+        assert journaled == events
+        server.wal.close()
+
     def test_double_start_rejected(self, tiny_dataset, trained_fism):
         server = _fresh_server(tiny_dataset, trained_fism)
 

@@ -678,10 +678,104 @@ class TestAtomicSnapshotPublish:
 
 
 # --------------------------------------------------------------------- #
+# RL008 — wal-record-codec
+# --------------------------------------------------------------------- #
+class TestWALRecordCodec:
+    def test_raw_write_in_wal_module_fires(self):
+        findings = lint_sources(
+            {
+                "core/wal.py": textwrap.dedent(
+                    """
+                    class WriteAheadLog:
+                        def _write_record(self, payload):
+                            self._handle.write(payload)
+                    """
+                )
+            }
+        )
+        assert codes(findings) == ["RL008"]
+        assert "unframed" in findings[0].message
+
+    def test_append_without_fsync_hook_fires(self):
+        findings = lint_sources(
+            {
+                "core/wal.py": textwrap.dedent(
+                    """
+                    class WriteAheadLog:
+                        def append(self, payload):
+                            _write_encoded(self._handle, encode_record(1, payload))
+                            return 1
+                    """
+                )
+            }
+        )
+        assert codes(findings) == ["RL008"]
+        assert "fsync policy" in findings[0].message
+
+    def test_codec_framed_append_with_hook_passes(self):
+        findings = lint_sources(
+            {
+                "core/wal.py": textwrap.dedent(
+                    """
+                    def _write_encoded(handle, data):
+                        handle.write(data)
+
+                    class WriteAheadLog:
+                        def append(self, payload):
+                            _write_encoded(self._handle, encode_record(1, payload))
+                            self._maybe_sync()
+                            return 1
+                    """
+                )
+            }
+        )
+        assert findings == []
+
+    def test_wal_named_function_outside_module_is_in_scope(self):
+        findings = lint_snippet(
+            """
+            def compact_wal(path, records):
+                with open(path, "wb") as handle:
+                    handle.write(records)
+            """
+        )
+        assert codes(findings) == ["RL008"]
+
+    def test_direct_encode_record_write_passes(self):
+        findings = lint_snippet(
+            """
+            def repair_wal(handle, seq, payload):
+                handle.write(encode_record(seq, payload))
+            """
+        )
+        assert findings == []
+
+    def test_unrelated_writes_out_of_scope_pass(self):
+        findings = lint_snippet(
+            """
+            def export_report(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """
+        )
+        assert findings == []
+
+    def test_suppression_comment_silences_deliberate_corruption(self):
+        findings = lint_snippet(
+            """
+            def torn_wal_tail(path, data):
+                with open(path, "wb") as handle:
+                    handle.write(data)  # repolint: disable=RL008 -- deliberate corruption
+            """
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
 # registry, selection, findings
 # --------------------------------------------------------------------- #
 class TestEngine:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         assert sorted(RULES) == [
             "RL001",
             "RL002",
@@ -690,6 +784,7 @@ class TestEngine:
             "RL005",
             "RL006",
             "RL007",
+            "RL008",
         ]
         for rule_obj in RULES.values():
             assert rule_obj.name and rule_obj.description

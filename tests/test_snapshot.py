@@ -11,6 +11,7 @@ serves **bit-identical** recommendations.
 from __future__ import annotations
 
 import json
+import shutil
 
 import numpy as np
 import pytest
@@ -21,6 +22,7 @@ from repro.core.merger import IntegratingMLP
 from repro.core.snapshot import (
     SNAPSHOT_FORMAT_VERSION,
     SnapshotError,
+    SnapshotNotFoundError,
     list_generations,
     previous_generation,
     read_snapshot,
@@ -66,8 +68,31 @@ class TestWriteRead:
             write_snapshot(tmp_path, _state(0), keep=0)
 
     def test_empty_root_is_a_clear_error(self, tmp_path):
-        with pytest.raises(SnapshotError, match="no committed snapshot generation"):
+        with pytest.raises(SnapshotNotFoundError, match="no committed snapshot generation"):
             read_snapshot(tmp_path)
+
+    def test_missing_root_is_a_named_error(self, tmp_path):
+        with pytest.raises(SnapshotNotFoundError, match="does not exist"):
+            read_snapshot(tmp_path / "never-created")
+        # The named error is still a SnapshotError: existing handlers keep working.
+        assert issubclass(SnapshotNotFoundError, SnapshotError)
+
+    def test_current_pointing_at_pruned_generation_is_a_named_error(self, tmp_path):
+        write_snapshot(tmp_path, _state(1), epoch=1)
+        generation = write_snapshot(tmp_path, _state(2), epoch=2)
+        # The CURRENT-named generation vanishes (over-eager cleanup, lost
+        # volume): the loader must name the problem, not KeyError or
+        # FileNotFoundError its way through the manifest walk.
+        shutil.rmtree(generation)
+        with pytest.raises(SnapshotNotFoundError, match="no longer exists"):
+            read_snapshot(tmp_path)
+
+    def test_wal_seq_round_trips_through_manifest(self, tmp_path):
+        generation = write_snapshot(tmp_path, _state(0), wal_seq=41)
+        assert read_snapshot(generation).wal_seq == 41
+        # Pre-WAL snapshots (no manifest key) default to 0: replay everything.
+        older = write_snapshot(tmp_path, _state(1))
+        assert read_snapshot(older).wal_seq == 0
 
     def test_future_format_version_rejected(self, tmp_path):
         generation = write_snapshot(tmp_path, _state(0))
@@ -268,6 +293,15 @@ class TestServerRoundTrip:
         generation = saved_server.save_snapshot(tmp_path)
         payload = read_snapshot(generation)
         assert payload.epoch == saved_server.sccf.neighborhood.index.epoch
+
+    def test_save_snapshot_rejects_nonpositive_keep_before_writing(
+        self, saved_server, tmp_path
+    ):
+        # keep=0 would delete every generation including the one just
+        # written; the server must refuse before touching disk, not after.
+        with pytest.raises(ValueError, match="keep"):
+            saved_server.save_snapshot(tmp_path, keep=0)
+        assert not any(tmp_path.iterdir())
 
     def test_restored_server_keeps_streaming(self, saved_server, tiny_dataset, trained_fism, tmp_path):
         saved_server.save_snapshot(tmp_path)

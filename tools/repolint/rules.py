@@ -1,4 +1,4 @@
-"""The seven serving-stack invariant rules (RL001–RL007).
+"""The eight serving-stack invariant rules (RL001–RL008).
 
 Each rule encodes one convention the serving stack depends on for
 correctness; the module docstring of :mod:`tools.repolint` and the README's
@@ -837,3 +837,111 @@ def check_atomic_snapshot_publish(module: Module, run: LintRun) -> Iterator[Hit]
                         ),
                         node,
                     )
+
+
+# ---------------------------------------------------------------------- #
+# RL008 — wal-record-codec
+# ---------------------------------------------------------------------- #
+
+#: function names (and the WAL module itself) whose journal writes must go
+#: through the record codec and whose append paths must reach group commit
+_WAL_SCOPE_RE = re.compile(r"wal", re.I)
+#: append-path entry points: ``append``, ``append_batch``, ``_append*``
+_WAL_APPEND_RE = re.compile(r"^_?append")
+#: calls that count as reaching the fsync-policy decision
+_WAL_SYNC_CALLEES = ("_maybe_sync", "sync")
+
+
+@rule(
+    "RL008",
+    "wal-record-codec",
+    "journal bytes go through the record codec; every append path reaches the fsync policy",
+)
+def check_wal_record_codec(module: Module, run: LintRun) -> Iterator[Hit]:
+    """Two durability invariants of the write-ahead log.
+
+    **Clause A** — inside WAL code (any function whose name mentions "wal",
+    or any function in a ``wal.py`` module, except the sanctioned
+    ``_write_encoded`` sink), no direct ``.write()`` /
+    ``.write_bytes()`` / ``.write_text()`` of payload bytes: an unframed
+    write has no length prefix or CRC, so recovery cannot tell it from a
+    torn tail and must discard everything after it.  Journal bytes reach
+    disk only as ``encode_record(...)`` output (passing the codec call
+    directly to a write is tolerated; anything else is not).
+
+    **Clause B** — every append-path entry point (``append``,
+    ``append_batch``, ``_append*``) in WAL scope must call ``_maybe_sync``
+    or ``sync`` before returning: a record that never reaches the
+    group-commit decision is acknowledged without ever being scheduled for
+    durability, silently widening the loss window past what the configured
+    fsync policy promises.
+    """
+
+    in_wal_module = str(module.path).endswith("wal.py")
+    for func in ast.walk(module.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        wal_scope = (
+            in_wal_module or bool(_WAL_SCOPE_RE.search(func.name))
+        ) and func.name != "_write_encoded"
+        if not wal_scope:
+            continue
+        reaches_sync = False
+        for node in ast.walk(func):
+            if node is func or module.enclosing_function(node) is not func:
+                continue  # nested defs get their own pass
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            name = callee.attr if isinstance(callee, ast.Attribute) else (
+                callee.id if isinstance(callee, ast.Name) else None
+            )
+            if name in _WAL_SYNC_CALLEES:
+                reaches_sync = True
+            if name in ("write", "write_bytes", "write_text") and isinstance(
+                callee, ast.Attribute
+            ):
+                framed = bool(node.args) and (
+                    isinstance(node.args[-1], ast.Call)
+                    and isinstance(node.args[-1].func, ast.Name)
+                    and node.args[-1].func.id == "encode_record"
+                )
+                if not framed:
+                    yield (
+                        Finding(
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            code="RL008",
+                            message=(
+                                f"raw .{name}() inside WAL path {func.name}; "
+                                "unframed journal bytes are indistinguishable "
+                                "from a torn tail at recovery"
+                            ),
+                            fixit=(
+                                "frame the payload with encode_record(seq, "
+                                "payload) and write it through the module's "
+                                "_write_encoded sink"
+                            ),
+                        ),
+                        node,
+                    )
+        if _WAL_APPEND_RE.match(func.name) and not reaches_sync:
+            yield (
+                Finding(
+                    path=module.path,
+                    line=func.lineno,
+                    col=func.col_offset,
+                    code="RL008",
+                    message=(
+                        f"append path {func.name} never reaches the fsync "
+                        "policy; acknowledged records are not scheduled for "
+                        "durability"
+                    ),
+                    fixit=(
+                        "end the append path with _maybe_sync() (or sync()) "
+                        "so every record passes the group-commit decision"
+                    ),
+                ),
+                func,
+            )
