@@ -43,6 +43,7 @@ from repro.core import SCCF, RealTimeServer, SCCFConfig
 from repro.core.wal import WriteAheadLog
 from repro.data import load_preset
 from repro.models import FISM
+from repro.testing import FaultInjector
 
 from _bench_utils import emit_bench_json
 
@@ -127,6 +128,9 @@ def bench_recovery(
             primary.observe(user, item)
         primary.sync_wal()  # the bytes a crash would leave behind
         expected = recs(primary, sample_users, args.k)
+        # The crash itself: the writer dies, dropping the single-writer lock
+        # without a clean close, so recovery can take ownership below.
+        FaultInjector().crash_wal_writer(primary.wal)
 
         shell, _ = build_server(
             args.num_users, args.num_items, args.dim, args.num_cells, args.seed

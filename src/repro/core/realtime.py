@@ -62,7 +62,14 @@ from ..models.base import exclude_seen_items
 from .cache import MISS
 from .sccf import _NEG_INF, SCCF
 from .snapshot import read_snapshot, write_snapshot
-from .wal import WriteAheadLog, decode_payload, encode_events, encode_maintain, replay_wal
+from .wal import (
+    WALError,
+    WriteAheadLog,
+    decode_payload,
+    encode_events,
+    encode_maintain,
+    replay_wal,
+)
 
 __all__ = [
     "HealthReport",
@@ -545,13 +552,20 @@ class RealTimeServer:
             identifying_ms=identifying_ms,
             num_events=len(validated),
         )
-        self.latencies.append(breakdown)
-        # One wall-clock sample *per event*, not per window: SLO percentiles
-        # must not improve just because the front-end coalesced harder.
-        finish = time.perf_counter()
-        starts = request_starts if request_starts is not None else [entry] * len(validated)
-        for request_start in starts:
-            self.observe_request_latencies.append((finish - request_start) * 1000.0)
+        if not self._replaying:
+            # Journal replay is excluded from the telemetry windows: a
+            # recovered server or tailing replica must report percentiles
+            # shaped by real serving traffic, not by replay timings.
+            self.latencies.append(breakdown)
+            # One wall-clock sample *per event*, not per window: SLO
+            # percentiles must not improve just because the front-end
+            # coalesced harder.
+            finish = time.perf_counter()
+            starts = (
+                request_starts if request_starts is not None else [entry] * len(validated)
+            )
+            for request_start in starts:
+                self.observe_request_latencies.append((finish - request_start) * 1000.0)
         if self.scheduler is not None and not self._replaying:
             # Replay must not fire fresh maintenance passes of its own: the
             # passes that actually ran pre-crash are journal records and are
@@ -1238,7 +1252,10 @@ class RealTimeServer:
         the snapshot).  Keyword overrides replace any saved server
         constructor argument (e.g. ``maintenance_every``) and may add WAL
         wiring (``wal_dir=`` / ``wal=``).  The restored server serves
-        bit-identically to the one that saved.
+        bit-identically to the one that saved.  Attaching a WAL takes
+        *ownership* of its directory (exclusive writer lock + torn-tail
+        repair), so pointing ``wal_dir`` at a live primary's journal fails
+        fast — a replica tails it read-only via :meth:`catch_up` instead.
 
         When a WAL is attached, recovery finishes the job: the manifest's
         covered sequence rewinds the applied-position marker and
@@ -1284,8 +1301,17 @@ class RealTimeServer:
         record with a sequence beyond ``_wal_applied_seq``, in order:
         event records re-run :meth:`_apply_observe_batch`, maintenance
         records re-run :meth:`maintain` with the recorded resolved threshold.
-        Replay is marked (``_replaying``) so nothing is re-journaled and the
-        scheduler stays quiet.  Returns the number of records applied.
+        Replay is marked (``_replaying``) so nothing is re-journaled, the
+        scheduler stays quiet, and the latency/SLO telemetry windows are
+        untouched.  Returns the number of records applied.
+
+        Replay is contiguity-checked: every replayed sequence must be
+        exactly the last applied one + 1.  A gap — the primary checkpointed
+        and pruned past this server's position, or an older snapshot
+        generation was loaded against a newer journal — raises
+        :class:`~repro.core.wal.WALError` *before* anything is applied out
+        of order; re-bootstrap from the latest snapshot instead of serving a
+        silently divergent state.
 
         Two callers: crash recovery (:meth:`load_snapshot` replaying the
         server's own journal tail) and replica tailing — a cold-started
@@ -1295,6 +1321,12 @@ class RealTimeServer:
 
         applied = 0
         for seq, payload in replay_wal(Path(wal_dir), after_seq=self._wal_applied_seq):
+            if seq != self._wal_applied_seq + 1:
+                raise WALError(
+                    f"journal gap: expected seq {self._wal_applied_seq + 1}, found "
+                    f"{seq} in {wal_dir} — the journal no longer covers this "
+                    "server's position; re-bootstrap from the latest snapshot"
+                )
             kind, body = decode_payload(payload)
             self._replaying = True
             try:

@@ -12,11 +12,14 @@ Record format — every record is length-prefixed and checksummed::
     <u32 payload length> <u32 crc32(seq || payload)> <u64 seq> <payload bytes>
 
 Sequence numbers are monotonic from 1 and never reused.  The CRC covers the
-sequence number *and* the payload, so a record can neither be truncated, bit
-flipped, nor spliced into another position without failing verification.
-Records land in segment files (``wal-<first-seq>.seg``) rotated at
-``segment_bytes``; :meth:`WriteAheadLog.prune` deletes segments wholly
-covered by a snapshot so the journal stays bounded.
+sequence number *and* the payload, so a record can neither be truncated nor
+bit flipped without failing verification — and because the scan additionally
+enforces that sequences run contiguously from the segment's base (the
+``<first-seq>`` in its filename), a valid record duplicated or spliced into
+another position fails the scan too: it is damage, not data.  Records land
+in segment files (``wal-<first-seq>.seg``) rotated at ``segment_bytes``;
+:meth:`WriteAheadLog.prune` deletes segments wholly covered by a snapshot so
+the journal stays bounded.
 
 Torn tails are expected, not fatal: a crash mid-append leaves a partial
 record at the end of the last segment.  Opening the log scans forward,
@@ -25,6 +28,13 @@ before it is kept, everything after it (torn bytes, or records written after
 a corrupted middle) is discarded.  The same forward scan backs
 :func:`replay_wal`, the **read-only** variant a replica uses to tail a live
 primary's journal without ever truncating it.
+
+One directory has one writer, and the rule is machine-enforced: the owning
+open takes an advisory ``flock`` on ``wal.lock`` and a second
+:class:`WriteAheadLog` over the same directory fails fast instead of running
+recovery against a live writer's tail.  The lock dies with the process, so a
+crashed writer never wedges its own restart; replicas tail the directory
+read-only through :func:`replay_wal` and never need the lock.
 
 Durability is a policy, not a boolean (``fsync=``):
 
@@ -37,6 +47,14 @@ Durability is a policy, not a boolean (``fsync=``):
   bounded-staleness policy; loss window is time-shaped instead of
   count-shaped.
 
+An append call whose group-commit fsync fails is rolled back whole before
+the :class:`WALError` surfaces: the records it wrote are truncated away and
+the sequence counter rewinds, so the journal never keeps a record its caller
+was told failed — recovery replays exactly the acknowledged stream, and a
+retry re-journals under the next sequence instead of leaving a duplicate.
+Records acknowledged by *earlier* calls are untouched; their durability
+window is whatever the policy already promised.
+
 All journal bytes reach disk through :func:`encode_record` and the
 module-level :func:`_write_encoded` sink, and every append path ends in the
 :meth:`WriteAheadLog._maybe_sync` policy hook — both machine-enforced by
@@ -47,6 +65,7 @@ patches them to simulate crash-mid-append and fsync failure.
 
 from __future__ import annotations
 
+import fcntl
 import json
 import os
 import re
@@ -158,7 +177,9 @@ def _decode_at(data: bytes, offset: int) -> Optional[Tuple[int, bytes, int]]:
     return seq, payload, end
 
 
-def scan_segment(path: Path) -> Tuple[List[Tuple[int, bytes, int, int]], int]:
+def scan_segment(
+    path: Path, expected_first: Optional[int] = None
+) -> Tuple[List[Tuple[int, bytes, int, int]], int]:
     """Verify one segment front to back.
 
     Returns ``(records, good_bytes)`` where each record is
@@ -166,18 +187,34 @@ def scan_segment(path: Path) -> Tuple[List[Tuple[int, bytes, int, int]], int]:
     first byte *not* covered by a verified record.  The scan stops at the
     first torn or corrupt record — exactly the truncation point crash
     recovery uses — so ``good_bytes < file size`` means a damaged tail.
+
+    Verification covers position, not just bytes: the first record must
+    carry the sequence the segment's filename advertises (overridable via
+    ``expected_first`` — the cross-segment continuation a multi-segment scan
+    threads through) and every later record must be exactly its
+    predecessor + 1.  A CRC-valid record sitting at the wrong sequence (a
+    duplicated or relocated record) therefore stops the scan like any other
+    damage.
     """
 
+    if expected_first is None:
+        match = _SEGMENT_RE.match(path.name)
+        if match:
+            expected_first = int(match.group(1))
     data = path.read_bytes()
     records: List[Tuple[int, bytes, int, int]] = []
     offset = 0
+    expected = expected_first
     while offset < len(data):
         decoded = _decode_at(data, offset)
         if decoded is None:
             break
         seq, payload, end = decoded
+        if expected is not None and seq != expected:
+            break
         records.append((seq, payload, offset, end))
         offset = end
+        expected = seq + 1
     return records, offset
 
 
@@ -263,11 +300,14 @@ def replay_wal(
     :class:`WriteAheadLog` (the append-side open) repairs damage.
     """
 
+    expected: Optional[int] = None
     for segment in _segment_files(Path(directory)):
-        records, good = scan_segment(segment)
+        records, good = scan_segment(segment, expected_first=expected)
         for seq, payload, _, _ in records:
             if seq > after_seq:
                 yield seq, payload
+        if records:
+            expected = records[-1][0] + 1
         if good < segment.stat().st_size:
             return  # damaged or in-flight tail: nothing beyond it is trusted
 
@@ -285,7 +325,10 @@ class WriteAheadLog:
     directory:
         Where the segment files live; created if absent.  One directory, one
         writer — replicas read it through :func:`replay_wal`, never by
-        constructing their own :class:`WriteAheadLog` over it.
+        constructing their own :class:`WriteAheadLog` over it.  The rule is
+        enforced with an advisory ``flock`` on ``wal.lock``: a second
+        construction over a live writer's directory raises :class:`WALError`
+        instead of truncating the writer's in-flight tail as "torn".
     fsync:
         Durability policy — ``"always"``, ``"batch"`` or ``"interval"``
         (see the module docstring for the loss-window trade-off).
@@ -342,20 +385,51 @@ class WriteAheadLog:
         self._dirty = False
         self._last_sync = time.monotonic()
         self._closed = False
+        self._lock_handle: Optional[IO[bytes]] = None
+        self._acquire_writer_lock()
         self.last_seq = self._recover()
         self._handle, self._active = self._open_active()
+
+    def _acquire_writer_lock(self) -> None:
+        """Fail fast if another live writer owns this directory.
+
+        Owning recovery (:meth:`_recover`) truncates whatever looks like a
+        torn tail — run against a *live* writer's directory it would shear
+        the record that writer is mid-way through appending.  The advisory
+        ``flock`` on ``wal.lock`` turns that mistake into an immediate
+        :class:`WALError`; it is released by :meth:`close` and vanishes with
+        the process, so a crashed writer never blocks its own restart.
+        """
+
+        handle = open(self.directory / "wal.lock", "ab")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            handle.close()
+            raise WALError(
+                f"another writer holds {self.directory / 'wal.lock'}; one "
+                "directory has one writer — tail a live journal read-only "
+                "via replay_wal/catch_up instead"
+            ) from exc
+        self._lock_handle = handle
+
+    def _release_writer_lock(self) -> None:
+        if self._lock_handle is not None and not self._lock_handle.closed:
+            self._lock_handle.close()  # closing the descriptor drops the flock
 
     # -- open-time recovery ------------------------------------------------ #
     def _recover(self) -> int:
         """Scan all segments, truncate at the first damage, return last seq."""
 
         last_seq = 0
+        expected: Optional[int] = None
         segments = _segment_files(self.directory)
         for position, segment in enumerate(segments):
-            records, good = scan_segment(segment)
+            records, good = scan_segment(segment, expected_first=expected)
             size = segment.stat().st_size
             if records:
                 last_seq = records[-1][0]
+                expected = last_seq + 1
             if good == size:
                 continue
             # Torn or corrupt record: keep the verified prefix, drop the rest
@@ -391,12 +465,22 @@ class WriteAheadLog:
         """Journal one payload; returns its sequence number.
 
         One group-commit decision per call: the record is written through
-        the codec, then :meth:`_maybe_sync` applies the fsync policy.
+        the codec, then :meth:`_maybe_sync` applies the fsync policy.  If
+        that policy's fsync fails, the call is rolled back whole (see
+        :meth:`_rollback`) before the :class:`WALError` propagates — the
+        journal never keeps a record whose caller was told it failed.
         """
 
-        seq = self._write_record(payload)
-        self.appends_total += 1
-        self._maybe_sync()
+        if self._closed:
+            raise WALError("write-ahead log is closed")
+        position = self._tail_position()
+        try:
+            seq = self._write_record(payload)
+            self.appends_total += 1
+            self._maybe_sync()
+        except WALError:
+            self._rollback(position)
+            raise
         return seq
 
     def append_batch(self, payloads: Sequence[bytes]) -> int:
@@ -404,17 +488,79 @@ class WriteAheadLog:
 
         Returns the last sequence number assigned.  Like :meth:`append`,
         the fsync policy runs once at the end — the whole batch shares one
-        durability decision, which is the point of group commit.
+        durability decision, which is the point of group commit — and a
+        failed commit rolls the whole batch back before raising.
         """
 
         if not payloads:
             raise ValueError("append_batch requires at least one payload")
-        seq = 0
-        for payload in payloads:
-            seq = self._write_record(payload)
-        self.appends_total += 1
-        self._maybe_sync()
+        if self._closed:
+            raise WALError("write-ahead log is closed")
+        position = self._tail_position()
+        try:
+            seq = 0
+            for payload in payloads:
+                seq = self._write_record(payload)
+            self.appends_total += 1
+            self._maybe_sync()
+        except WALError:
+            self._rollback(position)
+            raise
         return seq
+
+    def _tail_position(self) -> Tuple[int, Path, int, int, int, int]:
+        """Everything :meth:`_rollback` needs to unwind a failed append call."""
+
+        return (
+            self.last_seq,
+            self._active,
+            self._handle.tell(),
+            self.records_total,
+            self.bytes_written,
+            self._pending_records,
+        )
+
+    def _rollback(self, position: Tuple[int, Path, int, int, int, int]) -> None:
+        """Unwind one failed append call back to its pre-call tail.
+
+        A failed group-commit fsync leaves this call's record bytes in the
+        OS cache with an unknown fate.  Keeping them would break the
+        recovery == acknowledged-prefix invariant twice over: replay would
+        apply an event the live server refused (journal-first means a failed
+        append is never applied), and a caller's retry would journal a
+        duplicate copy under a fresh sequence.  So the call is erased:
+        segments it created are unlinked, the pre-call active segment is
+        truncated back to its pre-call length, and the sequence counter
+        rewinds.  Records acknowledged by earlier calls are untouched.  The
+        truncate is re-flushed best-effort — if the disk refuses that fsync
+        too, a crash can at worst recover a *shorter* committed prefix,
+        never a longer one.
+        """
+
+        last_seq, active, offset, records_total, bytes_written, pending = position
+        try:
+            self._handle.close()
+        except OSError:  # pragma: no cover - close on a wedged handle
+            pass
+        for segment in _segment_files(self.directory):
+            if segment.name > active.name:
+                segment.unlink()
+        if active.exists() and active.stat().st_size > offset:
+            with open(active, "r+b") as handle:
+                handle.truncate(offset)
+                try:
+                    _fsync_file(handle)
+                except Exception:
+                    pass  # best effort: the fsync path may still be down
+        self.last_seq = last_seq
+        self.records_total = records_total
+        self.bytes_written = bytes_written
+        self._pending_records = pending
+        self._dirty = pending > 0
+        # Reopen the same tail segment even if it is full: the next append's
+        # rotation syncs it first, preserving the sync-before-rotate rule.
+        self._active = active
+        self._handle = open(active, "ab", buffering=0)
 
     def _write_record(self, payload: bytes) -> int:
         if self._closed:
@@ -455,7 +601,13 @@ class WriteAheadLog:
             self._do_fsync()
 
     def sync(self) -> None:
-        """Force an fsync of everything appended so far (any policy)."""
+        """Force an fsync of everything appended so far (any policy).
+
+        Unlike the append path, a failure here does *not* roll anything
+        back: every pending record was already acknowledged by an earlier
+        call, so the :class:`WALError` surfaces the degraded durability
+        while the records stay journaled.
+        """
 
         self._maybe_sync(force=True)
 
@@ -535,6 +687,7 @@ class WriteAheadLog:
                 self._do_fsync()
         finally:
             self._handle.close()
+            self._release_writer_lock()
 
     def __enter__(self) -> "WriteAheadLog":
         return self

@@ -34,6 +34,10 @@ The injector attacks the real mechanisms, not mocks:
   halfway through a record write, a tail sheared off by a power cut, a bit
   flipped on disk, a disk that refuses to fsync — recovery must keep every
   record before the damage and drop everything at and after it.
+* :meth:`crash_wal_writer` simulates the owning process dying outright:
+  handles close without the final flush and the single-writer lock drops
+  with them, so an in-process "restart" can take ownership and run
+  recovery the way a real restart would.
 
 Everything observable about the injector is derived from its ``seed``; two
 injectors with the same seed attack the same shards in the same order.
@@ -350,22 +354,33 @@ class FaultInjector:
 
         wal_module._write_encoded = torn_write
 
-    def fail_wal_fsync(self, times: int = 1) -> None:
-        """Make the next ``times`` journal fsyncs raise (disk refusing to flush).
+    def fail_wal_fsync(self, times: int = 1, after: int = 0) -> None:
+        """Make journal fsyncs raise (disk refusing to flush).
 
-        Patches the WAL module's fsync seam; the log must surface the lost
-        durability guarantee as a :class:`~repro.core.wal.WALError` and count
-        the failure, not swallow it.  Self-removing after ``times`` faults.
+        The first ``after`` fsyncs pass through untouched, then the next
+        ``times`` raise — ``after`` lets a test land the failure on a
+        specific flush (e.g. the group-commit fsync *after* a rotation's
+        sync-before-rotate flush).  Patches the WAL module's fsync seam; the
+        log must surface the lost durability guarantee as a
+        :class:`~repro.core.wal.WALError`, count the failure, and roll the
+        failed append call back.  Self-removing after ``times`` faults.
         """
 
         if times <= 0:
             raise ValueError("times must be positive")
+        if after < 0:
+            raise ValueError("after must be non-negative")
         from ..core import wal as wal_module
 
         original = wal_module._fsync_file
+        skip = [after]
         remaining = [times]
 
         def failing_fsync(handle: Any) -> None:
+            if skip[0] > 0:
+                skip[0] -= 1
+                original(handle)
+                return
             if remaining[0] > 0:
                 remaining[0] -= 1
                 if remaining[0] == 0:
@@ -374,6 +389,23 @@ class FaultInjector:
             original(handle)
 
         wal_module._fsync_file = failing_fsync
+
+    def crash_wal_writer(self, wal: Any) -> None:
+        """Simulate the journal's owning process dying (SIGKILL, power loss).
+
+        Closes the write handle without the final flush a clean
+        :meth:`~repro.core.wal.WriteAheadLog.close` performs and releases
+        the single-writer ``wal.lock`` — exactly what process death leaves
+        behind: written bytes survive in the OS cache, the advisory lock
+        drops with the descriptor, and the next owning open must
+        reopen-and-repair.  The crashed object refuses further appends.
+        """
+
+        wal._closed = True
+        try:
+            wal._handle.close()
+        finally:
+            wal._release_writer_lock()
 
     def torn_wal_tail(self, wal_dir: Any, drop_bytes: Optional[int] = None) -> int:
         """Shear bytes off the end of the journal's last segment (power cut).

@@ -27,7 +27,7 @@ from hypothesis import strategies as st
 from repro.ann import IVFIndex
 from repro.core import SCCF, MaintenanceScheduler, RealTimeServer, SCCFConfig
 from repro.core.snapshot import list_generations
-from repro.core.wal import WALError, WriteAheadLog, replay_wal, scan_segment
+from repro.core.wal import WALError, WriteAheadLog, decode_payload, replay_wal, scan_segment
 from repro.testing import FaultInjector, InjectedFault
 
 
@@ -84,8 +84,10 @@ class TestCrashRecovery:
     def test_recovery_is_bit_identical(self, durable_server, tiny_dataset, trained_fism, tmp_path):
         durable_server.save_snapshot(tmp_path / "snap")
         self._stream(durable_server, tiny_dataset)
-        # No clean shutdown: the journal alone carries everything since the
-        # snapshot (fsync="always" puts every record on disk at once).
+        # No clean shutdown: the writer "dies" (releasing the single-writer
+        # lock, flushing nothing) and the journal alone carries everything
+        # since the snapshot (fsync="always" put every record on disk).
+        FaultInjector().crash_wal_writer(durable_server.wal)
         recovered = RealTimeServer.load_snapshot(
             tmp_path / "snap",
             _sccf(trained_fism),
@@ -99,12 +101,11 @@ class TestCrashRecovery:
     ):
         durable_server.save_snapshot(tmp_path / "snap")
         self._stream(durable_server, tiny_dataset)
+        # Read-only catch-up (the primary is still live and owns the journal).
         recovered = RealTimeServer.load_snapshot(
-            tmp_path / "snap",
-            _sccf(trained_fism),
-            tiny_dataset,
-            wal_dir=tmp_path / "wal",
+            tmp_path / "snap", _sccf(trained_fism), tiny_dataset
         )
+        recovered.catch_up(tmp_path / "wal")
         # RNG-stream parity: the *next* retrain re-clusters identically.
         left = durable_server.maintain(imbalance_threshold=0.5)
         right = recovered.maintain(imbalance_threshold=0.5)
@@ -124,6 +125,7 @@ class TestCrashRecovery:
         # The torn observe was never applied either — journal-first means the
         # server state and the journal agree on what exists.
         assert 3 not in durable_server.history(users[2])
+        FaultInjector().crash_wal_writer(durable_server.wal)
         recovered = RealTimeServer.load_snapshot(
             tmp_path / "snap",
             _sccf(trained_fism),
@@ -133,6 +135,55 @@ class TestCrashRecovery:
         assert recovered.history(users[0])[-1] == 1
         assert recovered.history(users[1])[-1] == 2
         _assert_parity(durable_server, recovered, tiny_dataset)
+
+    def test_fsync_failure_rollback_keeps_journal_and_recovery_agreed(
+        self, durable_server, tiny_dataset, trained_fism, tmp_path
+    ):
+        """The review scenario: fsync fails, the observe is refused — the
+        journal must not keep the unapplied record, and a retry must not
+        journal a duplicate, so recovery equals the live server exactly."""
+
+        durable_server.save_snapshot(tmp_path / "snap")
+        users = tiny_dataset.evaluation_users()
+        durable_server.observe(users[0], 1)
+        FaultInjector().fail_wal_fsync(times=1)
+        with pytest.raises(WALError):
+            durable_server.observe(users[1], 2)
+        # EventBuffer-style retry: same event, next sequence, no duplicate.
+        durable_server.observe(users[1], 2)
+        assert durable_server.health().wal_fsync_failures == 1
+        FaultInjector().crash_wal_writer(durable_server.wal)
+        recovered = RealTimeServer.load_snapshot(
+            tmp_path / "snap",
+            _sccf(trained_fism),
+            tiny_dataset,
+            wal_dir=tmp_path / "wal",
+        )
+        # Bit-identical — in particular users[1] saw item 2 exactly once.
+        assert recovered._wal_applied_seq == durable_server._wal_applied_seq
+        assert recovered.history(users[1]) == durable_server.history(users[1])
+        _assert_parity(durable_server, recovered, tiny_dataset)
+
+    def test_recovery_over_a_live_primary_journal_fails_fast(
+        self, durable_server, tiny_dataset, trained_fism, tmp_path
+    ):
+        durable_server.save_snapshot(tmp_path / "snap")
+        users = tiny_dataset.evaluation_users()
+        durable_server.observe(users[0], 1)
+        segment = next((tmp_path / "wal").glob("wal-*.seg"))
+        size = segment.stat().st_size
+        # Attaching a WAL takes ownership (recovery truncates "torn" tails);
+        # over a *live* primary's directory that must fail fast, not shear
+        # the primary's in-flight record.
+        with pytest.raises(WALError, match="another writer"):
+            RealTimeServer.load_snapshot(
+                tmp_path / "snap",
+                _sccf(trained_fism),
+                tiny_dataset,
+                wal_dir=tmp_path / "wal",
+            )
+        assert segment.stat().st_size == size
+        durable_server.observe(users[1], 2)  # the primary is unharmed
 
     def test_snapshot_records_wal_seq_and_prunes(self, tiny_dataset, trained_fism, tmp_path):
         wal = WriteAheadLog(tmp_path / "wal", fsync="always", segment_bytes=256)
@@ -205,6 +256,58 @@ class TestReplicaCatchUp:
         # them fresh sequence numbers that diverge from the primary's.
         assert list(replay_wal(tmp_path / "replica-wal")) == []
 
+    def test_replay_does_not_pollute_latency_windows(
+        self, durable_server, tiny_dataset, trained_fism, tmp_path
+    ):
+        durable_server.save_snapshot(tmp_path / "snap")
+        for user in tiny_dataset.evaluation_users()[:4]:
+            durable_server.observe(user, 1)
+        replica = RealTimeServer.load_snapshot(
+            tmp_path / "snap", _sccf(trained_fism), tiny_dataset
+        )
+        assert replica.catch_up(tmp_path / "wal") == 4
+        # Replay timings are not serving traffic: a freshly caught-up replica
+        # must report empty SLO windows, not percentiles shaped by replay.
+        assert replica.average_latency() is None
+        assert len(replica.observe_request_latencies) == 0
+        report = replica.health()
+        assert report.observe_p50_ms is None
+        # Real traffic lands in the windows as usual afterwards.
+        replica.observe(tiny_dataset.evaluation_users()[0], 2)
+        assert len(replica.observe_request_latencies) == 1
+
+    def test_catch_up_refuses_a_gapped_journal(
+        self, tiny_dataset, trained_fism, tmp_path
+    ):
+        """A replica whose position predates the oldest surviving segment
+        must fail loudly, not silently apply a non-contiguous prefix."""
+
+        wal = WriteAheadLog(tmp_path / "wal", fsync="always", segment_bytes=256)
+        server = RealTimeServer(
+            _sccf(trained_fism, fit_on=tiny_dataset), tiny_dataset, wal=wal
+        )
+        server.save_snapshot(tmp_path / "snap", keep=5)
+        stale_generation = list_generations(tmp_path / "snap")[-1]
+        users = tiny_dataset.evaluation_users()
+        for step in range(12):
+            server.observe(users[step % 6], 1 + step % 3)
+        assert wal.stats().segments > 1
+        server.save_snapshot(tmp_path / "snap", keep=5)  # prunes covered segments
+        # A replica bootstrapped from the *older* generation: the pruned
+        # journal no longer reaches back to its position.
+        replica = RealTimeServer.load_snapshot(
+            stale_generation, _sccf(trained_fism), tiny_dataset
+        )
+        with pytest.raises(WALError, match="journal gap"):
+            replica.catch_up(tmp_path / "wal")
+        # Bootstrapping from the *latest* snapshot is the advertised remedy.
+        fresh = RealTimeServer.load_snapshot(
+            tmp_path / "snap", _sccf(trained_fism), tiny_dataset
+        )
+        fresh.catch_up(tmp_path / "wal")
+        _assert_parity(server, fresh, tiny_dataset)
+        server.close()
+
 
 class TestSchedulerCheckpointing:
     def test_checkpoints_on_cadence_and_prunes(self, tiny_dataset, trained_fism, tmp_path):
@@ -225,6 +328,7 @@ class TestSchedulerCheckpointing:
         assert server.scheduler.checkpoints_run == 2
         assert list_generations(tmp_path / "snap")
         assert server.health().wal_lag <= 2
+        FaultInjector().crash_wal_writer(wal)
         recovered = RealTimeServer.load_snapshot(
             tmp_path / "snap",
             _sccf(trained_fism),
@@ -299,11 +403,18 @@ class TestHealthAndFailureSurfacing:
         with pytest.raises(WALError):
             durable_server.observe(user, 2)
         # Journal-first: an event whose durability failed was never applied,
-        # so the server does not acknowledge state the disk may not hold.
+        # so the server does not acknowledge state the disk may not hold —
+        # and the failed append was rolled back, so the journal does not
+        # hold an event the server refused (state and journal agree).
         assert durable_server.history(user)[-1] == 1
         assert durable_server.health().wal_fsync_failures == 1
+        assert durable_server.wal.last_seq == durable_server._wal_applied_seq == 1
         durable_server.observe(user, 3)  # the patch removed itself
         assert durable_server.history(user)[-1] == 3
+        journaled = [
+            decode_payload(payload)[1] for _, payload in durable_server.wal.replay()
+        ]
+        assert journaled == [[(user, 1)], [(user, 3)]]  # no orphan (user, 2)
 
     def test_wal_dir_and_wal_are_mutually_exclusive(
         self, tiny_dataset, trained_fism, tmp_path
@@ -377,6 +488,7 @@ def test_crash_at_random_offset_recovers_committed_prefix(
             else:
                 server.save_snapshot(snapdir)
         server.sync_wal()  # everything journaled is now on-disk bytes
+        FaultInjector().crash_wal_writer(server.wal)  # lock dies with the process
 
         segment = max(waldir.glob("wal-*.seg"))
         pristine = workdir / "pristine"
